@@ -1,0 +1,94 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper: it times the
+relevant computation with pytest-benchmark and prints (and saves under
+``results/``) the same rows or series the paper reports.  Dataset sizes are
+scaled down from the paper's multi-month collections so the whole harness runs
+in minutes on a laptop; EXPERIMENTS.md records the scaling next to every
+experiment.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = _ROOT / "results"
+
+from repro.core import AnnotationSources, PipelineConfig, SeMiTriPipeline  # noqa: E402
+from repro.datasets import (  # noqa: E402
+    GroundTruthDriveGenerator,
+    PersonSimulator,
+    PrivateCarSimulator,
+    SyntheticWorld,
+    TaxiFleetSimulator,
+    WorldConfig,
+)
+
+
+def save_result(name: str, text: str) -> None:
+    """Write a rendered table/series to ``results/<name>.txt`` and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def world() -> SyntheticWorld:
+    """The benchmark world (paper-scale layout, laptop-scale data)."""
+    return SyntheticWorld(WorldConfig(size=8000.0, poi_count=2000, seed=7))
+
+
+@pytest.fixture(scope="session")
+def annotation_sources(world) -> AnnotationSources:
+    return AnnotationSources(
+        regions=world.region_source(),
+        road_network=world.road_network(),
+        pois=world.poi_source(),
+    )
+
+
+@pytest.fixture(scope="session")
+def taxi_dataset(world):
+    """Stand-in for the Lausanne taxi dataset (Table 1 row 1)."""
+    return TaxiFleetSimulator(
+        world, taxi_count=2, days=3, fares_per_day=10, sample_interval=1.0, seed=11
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def car_dataset(world):
+    """Stand-in for the Milan private-car dataset (Table 1 row 2)."""
+    return PrivateCarSimulator(world, car_count=60, trips_per_car=2, seed=23).generate()
+
+
+@pytest.fixture(scope="session")
+def people_dataset(world):
+    """Stand-in for the Nokia smartphone dataset (Table 2)."""
+    return PersonSimulator(world, user_count=6, days_per_user=3, seed=31).generate()
+
+
+@pytest.fixture(scope="session")
+def drive_generator(world):
+    """Generator for ground-truth drives (stand-in for Krumm's Seattle data)."""
+    return GroundTruthDriveGenerator(
+        world, waypoint_count=8, sample_interval=2.0, noise_sigma=10.0, seed=41
+    )
+
+
+@pytest.fixture(scope="session")
+def vehicle_pipeline() -> SeMiTriPipeline:
+    return SeMiTriPipeline(PipelineConfig.for_vehicles())
+
+
+@pytest.fixture(scope="session")
+def people_pipeline() -> SeMiTriPipeline:
+    return SeMiTriPipeline(PipelineConfig.for_people())

@@ -1,0 +1,62 @@
+"""Figure 10: map-matching accuracy sensitivity to R and sigma.
+
+The paper sweeps the global view radius R (1..5) and the kernel width sigma
+(0.5R, 1R, 1.5R, 2R) on Krumm's Seattle benchmark and reports matching
+accuracies in the 90-96 % range, with small R and sigma = 0.5R already close
+to the best.  This benchmark performs the same sweep on the ground-truth
+drive of the synthetic world.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.analytics.reporting import render_series
+from repro.core.config import MapMatchingConfig
+from repro.lines.map_matching import GlobalMapMatcher, matching_accuracy
+
+VIEW_RADII = (1.0, 2.0, 3.0, 4.0, 5.0)
+SIGMA_FACTORS = (0.5, 1.0, 1.5, 2.0)
+
+
+def test_fig10_map_matching_sensitivity(benchmark, world, drive_generator):
+    drive = drive_generator.generate()
+    points = drive.trajectory.points
+    truth = drive.truth_segment_ids
+    network = world.road_network()
+
+    def sweep():
+        series = {}
+        for factor in SIGMA_FACTORS:
+            accuracies = []
+            for radius in VIEW_RADII:
+                config = MapMatchingConfig(
+                    view_radius=radius,
+                    kernel_width_factor=factor,
+                    candidate_radius=50.0,
+                )
+                matcher = GlobalMapMatcher(network, config)
+                matched = matcher.match(points)
+                accuracy = matching_accuracy([m.segment_id for m in matched], truth)
+                accuracies.append((radius, accuracy * 100.0))
+            series[f"sigma={factor:g}R"] = accuracies
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    text = render_series(
+        series,
+        title=(
+            "Figure 10 - Sensitivity of map matching accuracy w.r.t. R and sigma\n"
+            f"ground-truth drive: {len(points)} GPS points"
+        ),
+        x_label="global view radius R",
+        y_label="matching accuracy (%)",
+    )
+    save_result("fig10_map_matching_sensitivity", text)
+
+    all_accuracies = [value for values in series.values() for _, value in values]
+    assert min(all_accuracies) > 80.0
+    assert max(all_accuracies) > 90.0
+    # Small R with sigma = 0.5R is already near the best configuration (paper's finding).
+    small_r = dict(series["sigma=0.5R"])[2.0]
+    assert small_r >= max(all_accuracies) - 5.0

@@ -1,0 +1,57 @@
+"""Figure 17: per-stage latency of processing daily trajectories.
+
+The paper reports the mean time per daily (phone) trajectory spent in each
+pipeline stage: computing episodes, storing episodes, map matching, storing
+the matched result and the landuse join; computation/annotation is much
+cheaper than storage.  This benchmark runs the full pipeline with persistence
+into the SQLite store and reports the same per-stage means.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.analytics.reporting import render_table
+from repro.core import PipelineConfig, SeMiTriPipeline
+from repro.store.store import SemanticTrajectoryStore
+
+
+def test_fig17_latency(benchmark, world, people_dataset, annotation_sources):
+    def run_pipeline():
+        store = SemanticTrajectoryStore()
+        pipeline = SeMiTriPipeline(PipelineConfig.for_people(), store=store)
+        results = pipeline.annotate_many(
+            people_dataset.all_trajectories, annotation_sources, persist=True
+        )
+        merged = SeMiTriPipeline.merge_latencies(results)
+        store.close()
+        return merged
+
+    profile = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+
+    rows = []
+    for stage in (
+        "compute_episode",
+        "store_episode",
+        "map_match",
+        "store_match_result",
+        "landuse_join",
+        "poi_annotation",
+    ):
+        if profile.count(stage) == 0:
+            continue
+        rows.append(
+            [stage, profile.count(stage), f"{profile.mean(stage):.4f}", f"{profile.total(stage):.3f}"]
+        )
+    text = render_table(
+        ["stage", "#daily trajectories", "mean seconds", "total seconds"],
+        rows,
+        title="Figure 17 - Latency per processing stage (people trajectories)",
+    )
+    save_result("fig17_latency", text)
+
+    assert profile.count("compute_episode") == len(people_dataset.all_trajectories)
+    # Episode computation is cheap relative to the heavier annotation stages,
+    # mirroring the ordering in the paper's latency figure.
+    assert profile.mean("compute_episode") <= profile.mean("map_match") + profile.mean(
+        "landuse_join"
+    )

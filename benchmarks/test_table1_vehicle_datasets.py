@@ -1,0 +1,62 @@
+"""Table 1: datasets of vehicle trajectories.
+
+The paper's Table 1 lists, per vehicle dataset, the number of objects, GPS
+records, tracking time and sampling frequency, plus the geographic sources
+used with each dataset.  This benchmark regenerates the same rows from the
+synthetic stand-ins (scaled down; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.analytics.reporting import render_table
+from repro.analytics.statistics import dataset_overview
+
+
+def _row(name: str, overview: dict, sampling_label: str) -> list:
+    return [
+        name,
+        int(overview["objects"]),
+        int(overview["gps_records"]),
+        f"{overview['tracking_days']:.1f} days",
+        sampling_label,
+    ]
+
+
+def test_table1_vehicle_datasets(benchmark, world, taxi_dataset, car_dataset, drive_generator):
+    drive = drive_generator.generate()
+
+    def build_rows():
+        taxi_overview = dataset_overview(taxi_dataset.trajectories)
+        car_overview = dataset_overview(car_dataset.trajectories)
+        drive_overview = dataset_overview([drive.trajectory])
+        return [
+            _row("(1) Taxi fleet (Lausanne stand-in)", taxi_overview,
+                 f"{taxi_overview['mean_sampling_period']:.0f} s"),
+            _row("(2) Private cars (Milan stand-in)", car_overview,
+                 f"avg. {car_overview['mean_sampling_period']:.0f} s"),
+            _row("(3) Ground-truth drive (Seattle stand-in)", drive_overview,
+                 f"{drive_overview['mean_sampling_period']:.0f} s"),
+        ]
+
+    rows = benchmark(build_rows)
+
+    sources = [
+        ["landuse grid", f"{len(world.region_source()):,} cells"],
+        ["points of interest", f"{len(world.poi_source()):,} POIs"],
+        ["road network", f"{len(world.road_network()):,} road segments"],
+    ]
+    text = render_table(
+        ["Dataset", "# objects", "# GPS records", "Tracking time", "Sampling"],
+        rows,
+        title="Table 1 - Datasets of vehicle trajectories (synthetic stand-ins)",
+    )
+    text += "\n\n" + render_table(
+        ["Semantic place source", "Size"],
+        sources,
+        title="Third-party geographic sources",
+    )
+    save_result("table1_vehicle_datasets", text)
+
+    assert int(rows[0][1]) == 2  # two taxis, as in the paper
+    assert int(rows[0][2]) > int(rows[2][2])  # taxis produce the largest record count

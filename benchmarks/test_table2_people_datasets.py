@@ -1,0 +1,53 @@
+"""Table 2: people trajectory data from mobile phones.
+
+Regenerates the per-user rows of Table 2 (user id, tracking period, days with
+GPS, number of GPS records) and the dataset-level totals from the synthetic
+smartphone dataset.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.analytics.reporting import render_table
+from repro.analytics.statistics import dataset_overview
+
+
+def test_table2_people_datasets(benchmark, world, people_dataset):
+    def build_rows():
+        rows = []
+        for user in people_dataset.user_ids:
+            trajectories = people_dataset.trajectories_by_user[user]
+            overview = dataset_overview(trajectories)
+            rows.append(
+                [
+                    user,
+                    people_dataset.profiles[user].commute_style,
+                    len(trajectories),
+                    int(overview["gps_records"]),
+                ]
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+
+    total_records = people_dataset.gps_record_count
+    total_trajectories = len(people_dataset.all_trajectories)
+    header = (
+        f"Table 2 - People trajectory data (synthetic stand-in)\n"
+        f"{len(people_dataset.user_ids)} smartphone users, "
+        f"{total_trajectories} daily trajectories, {total_records:,} GPS records"
+    )
+    text = render_table(
+        ["user", "commute style", "#days-with-gps", "#GPS"], rows, title=header
+    )
+    text += "\n\nsemantic data: " + ", ".join(
+        [
+            f"landuse {len(world.region_source()):,} cells",
+            f"roads {len(world.road_network()):,} segments",
+            f"POIs {len(world.poi_source()):,} points",
+        ]
+    )
+    save_result("table2_people_datasets", text)
+
+    assert len(rows) == 6  # six named users, as in Table 2
+    assert all(row[3] > 0 for row in rows)

@@ -1,0 +1,4 @@
+"""Setup shim for environments without PEP 517 build isolation (offline installs)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""SeMiTri reproduction: semantic annotation of heterogeneous trajectories.
+
+A from-scratch Python implementation of the SeMiTri framework (Yan et al.,
+EDBT 2011): the semantic trajectory model, the trajectory-computation layer
+(cleaning, identification, stop/move segmentation), the three semantic
+annotation layers (regions via spatial join, lines via global map matching and
+transportation-mode inference, points via an HMM over POI categories), the
+semantic trajectory store and analytics, and deterministic synthetic datasets
+standing in for the paper's proprietary GPS and geographic sources.
+
+Typical usage::
+
+    from repro import SeMiTriPipeline, AnnotationSources, PipelineConfig
+    from repro.datasets import SyntheticWorld, TaxiFleetSimulator
+
+    world = SyntheticWorld()
+    taxis = TaxiFleetSimulator(world).generate()
+    pipeline = SeMiTriPipeline(PipelineConfig.for_vehicles())
+    sources = AnnotationSources(
+        regions=world.region_source(),
+        road_network=world.road_network(),
+        pois=world.poi_source(),
+    )
+    results = pipeline.annotate_many(taxis.trajectories, sources)
+"""
+
+from repro.core import (
+    Annotation,
+    AnnotationKind,
+    AnnotationSources,
+    Episode,
+    EpisodeKind,
+    LineOfInterest,
+    MapMatchingConfig,
+    PipelineConfig,
+    PipelineResult,
+    PointAnnotationConfig,
+    PointOfInterest,
+    RawTrajectory,
+    RegionAnnotationConfig,
+    RegionOfInterest,
+    SeMiTriPipeline,
+    SemanticPlace,
+    SemanticTrajectory,
+    SpatioTemporalPoint,
+    StopMoveConfig,
+    StructuredSemanticTrajectory,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Annotation",
+    "AnnotationKind",
+    "AnnotationSources",
+    "Episode",
+    "EpisodeKind",
+    "LineOfInterest",
+    "MapMatchingConfig",
+    "PipelineConfig",
+    "PipelineResult",
+    "PointAnnotationConfig",
+    "PointOfInterest",
+    "RawTrajectory",
+    "RegionAnnotationConfig",
+    "RegionOfInterest",
+    "SeMiTriPipeline",
+    "SemanticPlace",
+    "SemanticTrajectory",
+    "SpatioTemporalPoint",
+    "StopMoveConfig",
+    "StructuredSemanticTrajectory",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Per-stage latency profiling (Figure 17).
+
+Figure 17 reports, per daily trajectory, the time spent in five stages:
+computing episodes, storing episodes, map matching, storing the match results
+and the landuse spatial join.  :class:`StageTimer` measures named stages with
+a context manager; :class:`LatencyProfile` aggregates the samples and exposes
+the mean per stage.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+#: The five stages of Figure 17, in presentation order.
+FIGURE17_STAGES: Sequence[str] = (
+    "compute_episode",
+    "store_episode",
+    "map_match",
+    "store_match_result",
+    "landuse_join",
+)
+
+
+@dataclass
+class LatencyProfile:
+    """Collected latency samples per named stage (seconds)."""
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Record one sample for ``stage``."""
+        if seconds < 0:
+            raise ValueError("latency samples must be non-negative")
+        self.samples.setdefault(stage, []).append(seconds)
+
+    def merge(self, other: "LatencyProfile") -> None:
+        """Fold another profile's samples into this one."""
+        for stage, values in other.samples.items():
+            self.samples.setdefault(stage, []).extend(values)
+
+    def stages(self) -> List[str]:
+        """Stages with at least one sample, in insertion order."""
+        return list(self.samples.keys())
+
+    def count(self, stage: str) -> int:
+        """Number of samples for ``stage``."""
+        return len(self.samples.get(stage, ()))
+
+    def mean(self, stage: str) -> float:
+        """Mean latency of ``stage`` in seconds (0 when unsampled)."""
+        values = self.samples.get(stage, [])
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def total(self, stage: str) -> float:
+        """Total time spent in ``stage``."""
+        return sum(self.samples.get(stage, ()))
+
+    def means(self) -> Dict[str, float]:
+        """Mean latency per stage."""
+        return {stage: self.mean(stage) for stage in self.samples}
+
+
+class StageTimer:
+    """Measures named stages and accumulates them into a :class:`LatencyProfile`."""
+
+    def __init__(self, profile: LatencyProfile = None):  # type: ignore[assignment]
+        self.profile = profile if profile is not None else LatencyProfile()
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager measuring the wall-clock time of one stage run."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.profile.add(name, time.perf_counter() - started)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.profile.add(name, seconds)

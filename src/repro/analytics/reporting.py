@@ -1,0 +1,68 @@
+"""Plain-text renderers for the benchmark harness.
+
+The benchmark files print the rows and series of every reproduced table and
+figure; these helpers format them consistently so EXPERIMENTS.md and the
+bench output stay readable without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an ASCII table with aligned columns."""
+    columns = len(headers)
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError("every row must have as many cells as there are headers")
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(values: Sequence[str]) -> str:
+        return " | ".join(value.ljust(widths[index]) for index, value in enumerate(values))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def render_distribution_table(
+    distribution: Dict[str, float],
+    title: str = "",
+    value_label: str = "share",
+    sort_by_value: bool = True,
+) -> str:
+    """Render a category -> share mapping as a two-column table."""
+    items = list(distribution.items())
+    if sort_by_value:
+        items.sort(key=lambda pair: (-pair[1], pair[0]))
+    else:
+        items.sort(key=lambda pair: pair[0])
+    rows = [(category, f"{value:.4f}") for category, value in items]
+    return render_table(["category", value_label], rows, title=title)
+
+
+def render_series(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series, one block per series (for figure benchmarks)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name in sorted(series):
+        lines.append(f"[{name}]")
+        rows = [(f"{x:g}", f"{y:.4f}") for x, y in series[name]]
+        lines.append(render_table([x_label, y_label], rows))
+    return "\n".join(lines)

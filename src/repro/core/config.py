@@ -1,0 +1,264 @@
+"""Configuration objects for the SeMiTri pipeline and its layers.
+
+Every layer takes an explicit configuration dataclass so that the "trajectory
+computing policies" of Figure 2 (velocity threshold, temporal/spatial
+separations, density threshold) and the algorithm parameters of Section 4
+(global view radius R, kernel width sigma, POI grid size, HMM transition
+structure) live in one place and are easy to sweep in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CleaningConfig:
+    """Parameters of the GPS cleaning step (outlier removal + smoothing)."""
+
+    max_speed: float = 70.0
+    """Speed (units/s) above which a fix is considered an outlier (~250 km/h)."""
+
+    smoothing_window: int = 3
+    """Window size of the median/mean smoother; 1 disables smoothing."""
+
+    smoothing_method: str = "median"
+    """Either ``"median"``, ``"mean"`` or ``"none"``."""
+
+    def __post_init__(self) -> None:
+        if self.max_speed <= 0:
+            raise ConfigurationError("max_speed must be positive")
+        if self.smoothing_window < 1:
+            raise ConfigurationError("smoothing_window must be at least 1")
+        if self.smoothing_method not in ("median", "mean", "none"):
+            raise ConfigurationError(
+                f"unknown smoothing method {self.smoothing_method!r}; "
+                "expected 'median', 'mean' or 'none'"
+            )
+
+
+@dataclass(frozen=True)
+class TrajectoryIdentificationConfig:
+    """Parameters of the raw-trajectory identification (gap-based splitting)."""
+
+    max_time_gap: float = 1800.0
+    """Temporal separation (seconds) above which the stream is split."""
+
+    max_distance_gap: float = 3000.0
+    """Spatial separation (coordinate units) above which the stream is split."""
+
+    min_points: int = 5
+    """Trajectories with fewer points than this are discarded as noise."""
+
+    def __post_init__(self) -> None:
+        if self.max_time_gap <= 0 or self.max_distance_gap <= 0:
+            raise ConfigurationError("gap thresholds must be positive")
+        if self.min_points < 1:
+            raise ConfigurationError("min_points must be at least 1")
+
+
+@dataclass(frozen=True)
+class StopMoveConfig:
+    """Parameters of stop/move episode detection."""
+
+    policy: str = "velocity"
+    """Detection policy: ``"velocity"``, ``"density"`` or ``"hybrid"``."""
+
+    speed_threshold: float = 1.0
+    """Speed (units/s) below which a point is a stop candidate (velocity policy)."""
+
+    min_stop_duration: float = 120.0
+    """Minimum duration (seconds) for a candidate run to become a stop."""
+
+    density_radius: float = 50.0
+    """Spatial radius (units) of the density policy's neighbourhood."""
+
+    min_move_points: int = 2
+    """Move episodes shorter than this are merged into the surrounding stops."""
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("velocity", "density", "hybrid"):
+            raise ConfigurationError(
+                f"unknown stop/move policy {self.policy!r}; expected "
+                "'velocity', 'density' or 'hybrid'"
+            )
+        if self.speed_threshold <= 0:
+            raise ConfigurationError("speed_threshold must be positive")
+        if self.min_stop_duration < 0:
+            raise ConfigurationError("min_stop_duration must be non-negative")
+        if self.density_radius <= 0:
+            raise ConfigurationError("density_radius must be positive")
+        if self.min_move_points < 1:
+            raise ConfigurationError("min_move_points must be at least 1")
+
+
+@dataclass(frozen=True)
+class RegionAnnotationConfig:
+    """Parameters of the semantic-region annotation layer (Algorithm 1)."""
+
+    join_predicate: str = "contains"
+    """Spatial predicate: ``"contains"`` (point-in-region) or ``"intersects"``."""
+
+    use_episode_center_for_stops: bool = True
+    """Join stop episodes by their centre point instead of the full rectangle."""
+
+    annotate_points: bool = True
+    """Also produce per-GPS-point region links (Algorithm 1 default)."""
+
+    def __post_init__(self) -> None:
+        if self.join_predicate not in ("contains", "intersects"):
+            raise ConfigurationError(
+                f"unknown join predicate {self.join_predicate!r}; "
+                "expected 'contains' or 'intersects'"
+            )
+
+
+@dataclass(frozen=True)
+class MapMatchingConfig:
+    """Parameters of the global map-matching algorithm (Algorithm 2)."""
+
+    view_radius: float = 2.0
+    """Global view radius R, expressed as a multiple of the candidate radius."""
+
+    kernel_width_factor: float = 0.5
+    """Kernel width sigma expressed as a fraction of the view radius (sigma = f*R)."""
+
+    candidate_radius: float = 50.0
+    """Radius (coordinate units) used to pull candidate segments from the R-tree."""
+
+    max_candidates: int = 8
+    """Maximum number of candidate segments considered per GPS point."""
+
+    use_global_score: bool = True
+    """When False the matcher falls back to the pure localScore (ablation)."""
+
+    distance_metric: str = "point_segment"
+    """Distance of Equation 1 (``"point_segment"``) or ``"perpendicular"`` baseline."""
+
+    def __post_init__(self) -> None:
+        if self.view_radius <= 0:
+            raise ConfigurationError("view_radius must be positive")
+        if self.kernel_width_factor <= 0:
+            raise ConfigurationError("kernel_width_factor must be positive")
+        if self.candidate_radius <= 0:
+            raise ConfigurationError("candidate_radius must be positive")
+        if self.max_candidates < 1:
+            raise ConfigurationError("max_candidates must be at least 1")
+        if self.distance_metric not in ("point_segment", "perpendicular"):
+            raise ConfigurationError(
+                f"unknown distance metric {self.distance_metric!r}; "
+                "expected 'point_segment' or 'perpendicular'"
+            )
+
+    @property
+    def context_radius(self) -> float:
+        """The view radius R in coordinate units (R * candidate_radius)."""
+        return self.view_radius * self.candidate_radius
+
+    @property
+    def kernel_width(self) -> float:
+        """The kernel width sigma in coordinate units."""
+        return self.kernel_width_factor * self.context_radius
+
+
+@dataclass(frozen=True)
+class TransportModeConfig:
+    """Parameters of the transportation-mode inference."""
+
+    walk_speed_max: float = 2.5
+    """Upper bound of mean walking speed (m/s)."""
+
+    bicycle_speed_max: float = 7.0
+    """Upper bound of mean cycling speed (m/s)."""
+
+    bus_speed_max: float = 12.0
+    """Upper bound of mean bus speed (m/s); faster moves on rail default to metro."""
+
+    bus_acceleration_min: float = 0.25
+    """Mean absolute acceleration (m/s^2) above which road travel is motorised."""
+
+    def __post_init__(self) -> None:
+        if not (0 < self.walk_speed_max < self.bicycle_speed_max < self.bus_speed_max):
+            raise ConfigurationError(
+                "speed thresholds must satisfy 0 < walk < bicycle < bus"
+            )
+        if self.bus_acceleration_min < 0:
+            raise ConfigurationError("bus_acceleration_min must be non-negative")
+
+
+@dataclass(frozen=True)
+class PointAnnotationConfig:
+    """Parameters of the HMM-based semantic-point annotation layer (Algorithm 3)."""
+
+    grid_cell_size: float = 100.0
+    """Edge length of the discretisation grid used for Pr(grid | category)."""
+
+    neighbor_radius: float = 200.0
+    """Only POIs within this radius of a cell contribute to its probability."""
+
+    default_sigma: float = 60.0
+    """Default Gaussian influence radius for categories without a specific sigma."""
+
+    category_sigmas: Dict[str, float] = field(default_factory=dict)
+    """Category-specific Gaussian sigmas (sigma_c in the paper)."""
+
+    self_transition: float = 0.8
+    """Diagonal weight of the default state-transition matrix (Figure 6)."""
+
+    min_probability: float = 1e-12
+    """Floor applied to observation probabilities to keep Viterbi numerically safe."""
+
+    def __post_init__(self) -> None:
+        if self.grid_cell_size <= 0:
+            raise ConfigurationError("grid_cell_size must be positive")
+        if self.neighbor_radius <= 0:
+            raise ConfigurationError("neighbor_radius must be positive")
+        if self.default_sigma <= 0:
+            raise ConfigurationError("default_sigma must be positive")
+        if not (0.0 < self.self_transition < 1.0):
+            raise ConfigurationError("self_transition must lie strictly between 0 and 1")
+        if self.min_probability <= 0:
+            raise ConfigurationError("min_probability must be positive")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Top-level configuration bundling every layer's parameters."""
+
+    cleaning: CleaningConfig = field(default_factory=CleaningConfig)
+    identification: TrajectoryIdentificationConfig = field(
+        default_factory=TrajectoryIdentificationConfig
+    )
+    stop_move: StopMoveConfig = field(default_factory=StopMoveConfig)
+    region: RegionAnnotationConfig = field(default_factory=RegionAnnotationConfig)
+    map_matching: MapMatchingConfig = field(default_factory=MapMatchingConfig)
+    transport: TransportModeConfig = field(default_factory=TransportModeConfig)
+    point: PointAnnotationConfig = field(default_factory=PointAnnotationConfig)
+
+    @classmethod
+    def for_vehicles(cls) -> "PipelineConfig":
+        """Defaults suited to vehicle (taxi / private car) trajectories."""
+        return cls(
+            stop_move=StopMoveConfig(
+                policy="hybrid", speed_threshold=1.5, min_stop_duration=150.0, density_radius=60.0
+            ),
+            map_matching=MapMatchingConfig(candidate_radius=40.0),
+            point=PointAnnotationConfig(
+                default_sigma=25.0, neighbor_radius=120.0, grid_cell_size=25.0
+            ),
+        )
+
+    @classmethod
+    def for_people(cls) -> "PipelineConfig":
+        """Defaults suited to smartphone people trajectories (noisier, gappier)."""
+        return cls(
+            cleaning=CleaningConfig(max_speed=45.0),
+            identification=TrajectoryIdentificationConfig(max_time_gap=3600.0),
+            stop_move=StopMoveConfig(
+                policy="hybrid", speed_threshold=0.8, min_stop_duration=240.0, density_radius=80.0
+            ),
+            map_matching=MapMatchingConfig(candidate_radius=60.0),
+        )

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the SeMiTri reproduction.
+
+Every error raised by the library derives from :class:`SemitriError`, so
+applications can catch a single type.  Sub-classes distinguish configuration
+mistakes, data-quality failures detected in GPS streams, and problems with the
+third-party geographic sources.
+"""
+
+from __future__ import annotations
+
+
+class SemitriError(Exception):
+    """Base class for all SeMiTri errors."""
+
+
+class ConfigurationError(SemitriError):
+    """A configuration object contains an invalid or inconsistent value."""
+
+
+class DataQualityError(SemitriError):
+    """A GPS stream or trajectory violates a structural requirement.
+
+    Examples: timestamps that are not monotonically non-decreasing, an empty
+    trajectory fed to an annotation layer, or an episode whose time interval
+    is inverted.
+    """
+
+
+class SourceError(SemitriError):
+    """A third-party geographic source is missing, empty or malformed."""
+
+
+class StoreError(SemitriError):
+    """The semantic trajectory store rejected an operation."""

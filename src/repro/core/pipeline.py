@@ -1,0 +1,249 @@
+"""The SeMiTri pipeline façade (Figure 2).
+
+:class:`SeMiTriPipeline` wires the layers together: GPS cleaning, trajectory
+identification, stop/move computation, and the three semantic annotation
+layers (region, line, point), optionally persisting results in the semantic
+trajectory store and recording per-stage latencies for the Figure 17
+benchmark.
+
+Annotation sources are supplied per call through :class:`AnnotationSources`;
+layers whose source is missing are simply skipped, producing the partial
+annotations the paper mentions for scenarios where third-party data is not
+available (e.g. the sparse Lausanne POI set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analytics.latency import LatencyProfile, StageTimer
+from repro.core.config import PipelineConfig
+from repro.core.episodes import Episode
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.core.trajectory import StructuredSemanticTrajectory
+from repro.lines.annotator import LineAnnotator
+from repro.lines.road_network import RoadNetwork
+from repro.points.annotator import PointAnnotator
+from repro.points.poi import PoiSource
+from repro.preprocessing.cleaning import GpsCleaner
+from repro.preprocessing.identification import TrajectoryIdentifier
+from repro.preprocessing.stops import StopMoveDetector
+from repro.regions.annotator import RegionAnnotator
+from repro.regions.sources import RegionSource
+from repro.store.store import SemanticTrajectoryStore
+
+
+@dataclass
+class AnnotationSources:
+    """Third-party geographic sources available for annotation."""
+
+    regions: Optional[RegionSource] = None
+    road_network: Optional[RoadNetwork] = None
+    pois: Optional[PoiSource] = None
+
+    def available_layers(self) -> List[str]:
+        """Names of the annotation layers that can run with these sources."""
+        layers: List[str] = []
+        if self.regions is not None:
+            layers.append("region")
+        if self.road_network is not None:
+            layers.append("line")
+        if self.pois is not None:
+            layers.append("point")
+        return layers
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced for one raw trajectory."""
+
+    trajectory: RawTrajectory
+    episodes: List[Episode]
+    region_trajectory: Optional[StructuredSemanticTrajectory] = None
+    line_trajectories: List[StructuredSemanticTrajectory] = field(default_factory=list)
+    point_trajectory: Optional[StructuredSemanticTrajectory] = None
+    trajectory_category: Optional[str] = None
+    latency: LatencyProfile = field(default_factory=LatencyProfile)
+
+    @property
+    def stops(self) -> List[Episode]:
+        """Stop episodes of the trajectory."""
+        return [episode for episode in self.episodes if episode.is_stop]
+
+    @property
+    def moves(self) -> List[Episode]:
+        """Move episodes of the trajectory."""
+        return [episode for episode in self.episodes if episode.is_move]
+
+    def transport_modes(self) -> List[str]:
+        """Transportation modes inferred for the move episodes, in order."""
+        modes: List[str] = []
+        for structured in self.line_trajectories:
+            modes.extend(structured.mode_sequence())
+        return modes
+
+
+class SeMiTriPipeline:
+    """End-to-end semantic annotation pipeline."""
+
+    def __init__(
+        self,
+        config: PipelineConfig = PipelineConfig(),
+        store: Optional[SemanticTrajectoryStore] = None,
+    ):
+        self._config = config
+        self._store = store
+        self._cleaner = GpsCleaner(config.cleaning)
+        self._identifier = TrajectoryIdentifier(config.identification)
+        self._detector = StopMoveDetector(config.stop_move)
+
+    @property
+    def config(self) -> PipelineConfig:
+        """The pipeline configuration."""
+        return self._config
+
+    @property
+    def store(self) -> Optional[SemanticTrajectoryStore]:
+        """The semantic trajectory store, when persistence is enabled."""
+        return self._store
+
+    # --------------------------------------------------------------- ingestion
+    def ingest_stream(
+        self, points: Sequence[SpatioTemporalPoint], object_id: str = "unknown"
+    ) -> List[RawTrajectory]:
+        """Clean a GPS stream and split it into raw trajectories."""
+        cleaned = self._cleaner.clean(points)
+        return self._identifier.split(cleaned, object_id=object_id)
+
+    def compute_episodes(self, trajectory: RawTrajectory) -> List[Episode]:
+        """Segment one trajectory into stop/move episodes."""
+        return self._detector.segment(trajectory)
+
+    # -------------------------------------------------------------- annotation
+    def annotate(
+        self,
+        trajectory: RawTrajectory,
+        sources: AnnotationSources,
+        persist: bool = False,
+    ) -> PipelineResult:
+        """Run the full annotation pipeline on one raw trajectory.
+
+        The region layer annotates both stops and moves, the line layer
+        processes move episodes, the point layer processes stop episodes;
+        layers without an available source are skipped.  When ``persist`` is
+        true (and a store was supplied) the trajectory, its episodes and their
+        annotations are written to the semantic trajectory store, and the
+        storage time is included in the latency profile.
+        """
+        timer = StageTimer()
+        result = PipelineResult(trajectory=trajectory, episodes=[], latency=timer.profile)
+
+        with timer.stage("compute_episode"):
+            episodes = self._detector.segment(trajectory)
+        result.episodes = episodes
+
+        persist_enabled = persist and self._store is not None
+        if persist_enabled:
+            with timer.stage("store_episode"):
+                self._store.save_trajectory(trajectory)
+
+        if sources.regions is not None:
+            annotator = RegionAnnotator(sources.regions, self._config.region)
+            with timer.stage("landuse_join"):
+                result.region_trajectory = annotator.annotate_episodes(episodes)
+
+        if sources.road_network is not None:
+            line_annotator = LineAnnotator(
+                sources.road_network,
+                matching_config=self._config.map_matching,
+                transport_config=self._config.transport,
+            )
+            with timer.stage("map_match"):
+                result.line_trajectories = line_annotator.annotate_episodes(
+                    [episode for episode in episodes if episode.is_move]
+                )
+
+        stops = [episode for episode in episodes if episode.is_stop]
+        if sources.pois is not None and stops:
+            point_annotator = PointAnnotator(sources.pois, self._config.point)
+            with timer.stage("poi_annotation"):
+                result.point_trajectory = point_annotator.annotate_stops(stops)
+                result.trajectory_category = point_annotator.classify_trajectory(stops)
+
+        if persist_enabled:
+            with timer.stage("store_match_result"):
+                self._store.save_episodes(episodes)
+
+        return result
+
+    def annotate_many(
+        self,
+        trajectories: Sequence[RawTrajectory],
+        sources: AnnotationSources,
+        persist: bool = False,
+    ) -> List[PipelineResult]:
+        """Annotate several trajectories, reusing layer state across calls.
+
+        Layer annotators are constructed once (building them involves indexing
+        the sources), then applied to every trajectory; this is the batch mode
+        the experiments of Section 5 use.
+        """
+        region_annotator = (
+            RegionAnnotator(sources.regions, self._config.region)
+            if sources.regions is not None
+            else None
+        )
+        line_annotator = (
+            LineAnnotator(
+                sources.road_network,
+                matching_config=self._config.map_matching,
+                transport_config=self._config.transport,
+            )
+            if sources.road_network is not None
+            else None
+        )
+        point_annotator = (
+            PointAnnotator(sources.pois, self._config.point) if sources.pois is not None else None
+        )
+
+        results: List[PipelineResult] = []
+        for trajectory in trajectories:
+            timer = StageTimer()
+            result = PipelineResult(trajectory=trajectory, episodes=[], latency=timer.profile)
+            with timer.stage("compute_episode"):
+                episodes = self._detector.segment(trajectory)
+            result.episodes = episodes
+
+            persist_enabled = persist and self._store is not None
+            if persist_enabled:
+                with timer.stage("store_episode"):
+                    self._store.save_trajectory(trajectory)
+
+            if region_annotator is not None:
+                with timer.stage("landuse_join"):
+                    result.region_trajectory = region_annotator.annotate_episodes(episodes)
+            if line_annotator is not None:
+                with timer.stage("map_match"):
+                    result.line_trajectories = line_annotator.annotate_episodes(
+                        [episode for episode in episodes if episode.is_move]
+                    )
+            stops = [episode for episode in episodes if episode.is_stop]
+            if point_annotator is not None and stops:
+                with timer.stage("poi_annotation"):
+                    result.point_trajectory = point_annotator.annotate_stops(stops)
+                    result.trajectory_category = point_annotator.classify_trajectory(stops)
+            if persist_enabled:
+                with timer.stage("store_match_result"):
+                    self._store.save_episodes(episodes)
+            results.append(result)
+        return results
+
+    # ---------------------------------------------------------------- analysis
+    @staticmethod
+    def merge_latencies(results: Sequence[PipelineResult]) -> LatencyProfile:
+        """Combine the latency profiles of several pipeline results."""
+        merged = LatencyProfile()
+        for result in results:
+            merged.merge(result.latency)
+        return merged

@@ -1,0 +1,25 @@
+"""Synthetic datasets standing in for the paper's proprietary data sources.
+
+The paper evaluates SeMiTri on GPS datasets (Lausanne taxis, Milan private
+cars, Nokia smartphone traces, Krumm's Seattle drive) and geographic sources
+(Swisstopo landuse, Milan POIs, OpenStreetMap) that are not redistributable.
+This package generates deterministic synthetic equivalents that preserve the
+statistical shape each experiment depends on; see DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.datasets.world import SyntheticWorld, WorldConfig
+from repro.datasets.vehicles import PrivateCarSimulator, TaxiFleetSimulator
+from repro.datasets.people import PersonProfile, PersonSimulator
+from repro.datasets.seattle import GroundTruthDrive, GroundTruthDriveGenerator
+
+__all__ = [
+    "SyntheticWorld",
+    "WorldConfig",
+    "TaxiFleetSimulator",
+    "PrivateCarSimulator",
+    "PersonProfile",
+    "PersonSimulator",
+    "GroundTruthDrive",
+    "GroundTruthDriveGenerator",
+]

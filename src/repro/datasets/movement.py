@@ -1,0 +1,136 @@
+"""Shared movement-simulation helpers for the dataset generators.
+
+All simulators build GPS streams from two primitives:
+
+* :func:`sample_path` — travel along a waypoint polyline at a given speed,
+  emitting a fix every ``sample_interval`` seconds with Gaussian GPS noise and
+  remembering the ground-truth road segment under each fix;
+* :func:`sample_dwell` — stay at a location for a while, emitting jittery
+  fixes (or none at all, to simulate indoor signal loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.points import SpatioTemporalPoint
+from repro.geometry.primitives import Point
+
+
+@dataclass
+class PathSample:
+    """Result of sampling a path: GPS fixes plus per-fix ground truth."""
+
+    points: List[SpatioTemporalPoint]
+    truth_segment_ids: List[Optional[str]]
+    end_time: float
+
+
+def sample_path(
+    waypoints: Sequence[Point],
+    segment_ids: Sequence[Optional[str]],
+    speed: float,
+    sample_interval: float,
+    noise_sigma: float,
+    rng: np.random.Generator,
+    start_time: float,
+) -> PathSample:
+    """Travel along ``waypoints`` at ``speed`` and emit noisy GPS fixes.
+
+    ``segment_ids[i]`` is the identifier of the road segment between waypoint
+    ``i`` and ``i+1`` (None for off-road legs); each emitted fix remembers the
+    segment it truly lies on, which the map-matching benchmark uses as ground
+    truth.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    if sample_interval <= 0:
+        raise ValueError("sample_interval must be positive")
+    if len(waypoints) >= 2 and len(segment_ids) != len(waypoints) - 1:
+        raise ValueError("segment_ids must have one entry per waypoint pair")
+
+    points: List[SpatioTemporalPoint] = []
+    truth: List[Optional[str]] = []
+    current_time = start_time
+    if len(waypoints) < 2:
+        if waypoints:
+            position = _jitter(waypoints[0], noise_sigma, rng)
+            points.append(SpatioTemporalPoint(position.x, position.y, current_time))
+            truth.append(segment_ids[0] if segment_ids else None)
+        return PathSample(points=points, truth_segment_ids=truth, end_time=current_time)
+
+    time_into_leg = 0.0
+    for leg_index, (leg_start, leg_end) in enumerate(zip(waypoints, waypoints[1:])):
+        leg_length = leg_start.distance_to(leg_end)
+        leg_duration = leg_length / speed
+        leg_truth = segment_ids[leg_index]
+        while time_into_leg <= leg_duration:
+            fraction = time_into_leg / leg_duration if leg_duration > 0 else 0.0
+            true_position = Point(
+                leg_start.x + (leg_end.x - leg_start.x) * fraction,
+                leg_start.y + (leg_end.y - leg_start.y) * fraction,
+            )
+            observed = _jitter(true_position, noise_sigma, rng)
+            points.append(SpatioTemporalPoint(observed.x, observed.y, current_time))
+            truth.append(leg_truth)
+            time_into_leg += sample_interval
+            current_time += sample_interval
+        time_into_leg -= leg_duration
+    return PathSample(points=points, truth_segment_ids=truth, end_time=current_time)
+
+
+def sample_dwell(
+    location: Point,
+    duration: float,
+    sample_interval: float,
+    noise_sigma: float,
+    rng: np.random.Generator,
+    start_time: float,
+    indoor_drop_probability: float = 0.0,
+) -> PathSample:
+    """Stay at ``location`` for ``duration`` seconds, emitting jittery fixes.
+
+    ``indoor_drop_probability`` is the chance of dropping each fix, modelling
+    indoor GPS signal loss for people trajectories; the dwell still advances
+    the clock even when every fix is dropped.
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    if sample_interval <= 0:
+        raise ValueError("sample_interval must be positive")
+    points: List[SpatioTemporalPoint] = []
+    truth: List[Optional[str]] = []
+    elapsed = 0.0
+    current_time = start_time
+    while elapsed <= duration:
+        if rng.random() >= indoor_drop_probability:
+            observed = _jitter(location, noise_sigma, rng)
+            points.append(SpatioTemporalPoint(observed.x, observed.y, current_time))
+            truth.append(None)
+        elapsed += sample_interval
+        current_time += sample_interval
+    return PathSample(points=points, truth_segment_ids=truth, end_time=current_time)
+
+
+def concatenate(samples: Sequence[PathSample]) -> PathSample:
+    """Concatenate several path samples into one stream (in the given order)."""
+    points: List[SpatioTemporalPoint] = []
+    truth: List[Optional[str]] = []
+    end_time = 0.0
+    for sample in samples:
+        points.extend(sample.points)
+        truth.extend(sample.truth_segment_ids)
+        end_time = max(end_time, sample.end_time)
+    return PathSample(points=points, truth_segment_ids=truth, end_time=end_time)
+
+
+def _jitter(position: Point, noise_sigma: float, rng: np.random.Generator) -> Point:
+    if noise_sigma <= 0:
+        return position
+    return Point(
+        position.x + float(rng.normal(0.0, noise_sigma)),
+        position.y + float(rng.normal(0.0, noise_sigma)),
+    )

@@ -1,0 +1,461 @@
+"""People (smartphone) trajectory simulator.
+
+Substitute for the Nokia smartphone dataset of Table 2: daily trajectories of
+people who commute between home and office using different transportation
+modes (walk + metro, bicycle, bus, or walking only), run errands at lunch and
+shop in the evening.  People trajectories are deliberately messier than the
+vehicle ones:
+
+* GPS fixes are dropped with high probability during indoor stops (signal
+  loss at home and at the office);
+* the sampling period varies from fix to fix (power-saving duty cycling);
+* positional noise is larger than for vehicles;
+* commutes combine on-road and off-road (footpath) legs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.datasets.movement import PathSample, concatenate, sample_dwell, sample_path
+from repro.datasets.routing import RoadRouter
+from repro.datasets.world import SyntheticWorld
+from repro.geometry.primitives import Point
+
+#: Commute styles and the mode sequence each one implies.
+COMMUTE_STYLES: Tuple[str, ...] = ("metro", "bicycle", "bus", "walk")
+
+
+@dataclass(frozen=True)
+class PersonProfile:
+    """Static description of one simulated smartphone user."""
+
+    user_id: str
+    home: Point
+    office: Point
+    commute_style: str
+    days: int
+    leisure_bias: float = 0.3
+    """Probability of an extra evening leisure stop (park, sport)."""
+
+    excursion_days: Tuple[int, ...] = ()
+    """Day indices spent on an off-urban excursion (hike to the forest or lake)
+    instead of commuting; this is what makes some users' landuse profiles stand
+    out in Figure 14 (the paper's forest-hiking and lake-side users)."""
+
+
+@dataclass
+class PeopleDataset:
+    """Generated people dataset: daily trajectories per user plus ground truth."""
+
+    trajectories_by_user: Dict[str, List[RawTrajectory]] = field(default_factory=dict)
+    truth_segments: Dict[str, List[Optional[str]]] = field(default_factory=dict)
+    profiles: Dict[str, PersonProfile] = field(default_factory=dict)
+
+    @property
+    def all_trajectories(self) -> List[RawTrajectory]:
+        """Every daily trajectory of every user."""
+        result: List[RawTrajectory] = []
+        for trajectories in self.trajectories_by_user.values():
+            result.extend(trajectories)
+        return result
+
+    @property
+    def gps_record_count(self) -> int:
+        """Total number of GPS fixes."""
+        return sum(len(t) for t in self.all_trajectories)
+
+    @property
+    def user_ids(self) -> List[str]:
+        """Identifiers of the simulated users."""
+        return sorted(self.trajectories_by_user.keys())
+
+
+class PersonSimulator:
+    """Simulates daily smartphone trajectories for a set of user profiles."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        user_count: int = 6,
+        days_per_user: int = 3,
+        noise_sigma: float = 12.0,
+        indoor_drop_probability: float = 0.85,
+        seed: int = 31,
+    ):
+        self._world = world
+        self._user_count = user_count
+        self._days_per_user = days_per_user
+        self._noise_sigma = noise_sigma
+        self._indoor_drop = indoor_drop_probability
+        self._seed = seed
+        network = world.road_network()
+        self._walk_router = RoadRouter(network, allowed_types=("road", "path_way"))
+        self._metro_router = RoadRouter(network, allowed_types=("metro_line",))
+        self._road_router = RoadRouter(network, allowed_types=("road", "highway"))
+        self._network = network
+
+    # -------------------------------------------------------------- profiles
+    def build_profiles(self) -> List[PersonProfile]:
+        """Deterministic user profiles (one commute style per user, round-robin)."""
+        profiles: List[PersonProfile] = []
+        for index in range(self._user_count):
+            rng = np.random.default_rng(self._seed + index * 97)
+            style = COMMUTE_STYLES[index % len(COMMUTE_STYLES)]
+            # Every other user spends their last tracked day on an excursion
+            # (hike in the woods or a lake-side walk), which diversifies the
+            # per-user landuse profiles exactly as Figure 14 shows.
+            excursions: Tuple[int, ...] = ()
+            if index % 2 == 1 and self._days_per_user >= 2:
+                excursions = (self._days_per_user - 1,)
+            profiles.append(
+                PersonProfile(
+                    user_id=f"user{index + 1}",
+                    home=self._world.random_home(rng),
+                    office=self._world.random_office(rng),
+                    commute_style=style,
+                    days=self._days_per_user,
+                    leisure_bias=float(rng.uniform(0.1, 0.5)),
+                    excursion_days=excursions,
+                )
+            )
+        return profiles
+
+    # -------------------------------------------------------------- generation
+    def generate(self, profiles: Optional[Sequence[PersonProfile]] = None) -> PeopleDataset:
+        """Generate daily trajectories for every profile."""
+        dataset = PeopleDataset()
+        for profile in profiles if profiles is not None else self.build_profiles():
+            dataset.profiles[profile.user_id] = profile
+            dataset.trajectories_by_user[profile.user_id] = []
+            for day in range(profile.days):
+                user_hash = sum(ord(char) for char in profile.user_id)
+                rng = np.random.default_rng(self._seed + user_hash + day * 131)
+                sample = self._simulate_day(profile, rng, day)
+                if len(sample.points) < 5:
+                    continue
+                trajectory_id = f"{profile.user_id}-day{day}"
+                trajectory = RawTrajectory(
+                    self._apply_variable_sampling(sample.points, rng),
+                    object_id=profile.user_id,
+                    trajectory_id=trajectory_id,
+                )
+                dataset.trajectories_by_user[profile.user_id].append(trajectory)
+                dataset.truth_segments[trajectory_id] = sample.truth_segment_ids
+        return dataset
+
+    # ---------------------------------------------------------------- per-day
+    def _simulate_day(
+        self, profile: PersonProfile, rng: np.random.Generator, day: int
+    ) -> PathSample:
+        if day in profile.excursion_days:
+            return self._simulate_excursion_day(profile, rng, day)
+        day_start = day * 86_400.0
+        pieces: List[PathSample] = []
+        current_time = day_start + 7 * 3600.0 + float(rng.uniform(0, 1800.0))
+
+        # Morning at home (mostly indoors, few fixes).
+        home_dwell = sample_dwell(
+            profile.home,
+            duration=float(rng.uniform(1200.0, 2400.0)),
+            sample_interval=30.0,
+            noise_sigma=self._noise_sigma,
+            rng=rng,
+            start_time=current_time,
+            indoor_drop_probability=self._indoor_drop,
+        )
+        pieces.append(home_dwell)
+        current_time = home_dwell.end_time
+
+        # Commute to the office.
+        commute = self._commute(profile, profile.home, profile.office, rng, current_time)
+        pieces.append(commute)
+        current_time = commute.end_time
+
+        # Work (long indoor stop).
+        work_dwell = sample_dwell(
+            profile.office,
+            duration=float(rng.uniform(6 * 3600.0, 8 * 3600.0)),
+            sample_interval=60.0,
+            noise_sigma=self._noise_sigma,
+            rng=rng,
+            start_time=current_time,
+            indoor_drop_probability=self._indoor_drop,
+        )
+        pieces.append(work_dwell)
+        current_time = work_dwell.end_time
+
+        # Evening shopping stop near the commercial centre.
+        shop = self._nearby_poi_location(self._world.config.commercial_center, rng)
+        walk_to_shop = self._walk_leg(profile.office, shop, rng, current_time)
+        pieces.append(walk_to_shop)
+        current_time = walk_to_shop.end_time
+        shop_dwell = sample_dwell(
+            shop,
+            duration=float(rng.uniform(900.0, 2400.0)),
+            sample_interval=20.0,
+            noise_sigma=self._noise_sigma * 0.8,
+            rng=rng,
+            start_time=current_time,
+            indoor_drop_probability=0.4,
+        )
+        pieces.append(shop_dwell)
+        current_time = shop_dwell.end_time
+
+        # Optional leisure detour (park footpaths).
+        if rng.random() < profile.leisure_bias:
+            park = Point(self._world.config.size * 0.65, self._world.config.size * 0.35)
+            walk_to_park = self._walk_leg(shop, park, rng, current_time)
+            pieces.append(walk_to_park)
+            current_time = walk_to_park.end_time
+            park_dwell = sample_dwell(
+                park,
+                duration=float(rng.uniform(1200.0, 2400.0)),
+                sample_interval=20.0,
+                noise_sigma=self._noise_sigma * 0.8,
+                rng=rng,
+                start_time=current_time,
+                indoor_drop_probability=0.1,
+            )
+            pieces.append(park_dwell)
+            current_time = park_dwell.end_time
+            shop = park
+
+        # Commute home.
+        commute_home = self._commute(profile, shop, profile.home, rng, current_time)
+        pieces.append(commute_home)
+        current_time = commute_home.end_time
+
+        # Evening at home.
+        pieces.append(
+            sample_dwell(
+                profile.home,
+                duration=float(rng.uniform(1200.0, 2400.0)),
+                sample_interval=60.0,
+                noise_sigma=self._noise_sigma,
+                rng=rng,
+                start_time=current_time,
+                indoor_drop_probability=self._indoor_drop,
+            )
+        )
+        return concatenate(pieces)
+
+    def _simulate_excursion_day(
+        self, profile: PersonProfile, rng: np.random.Generator, day: int
+    ) -> PathSample:
+        """A leisure day: hike to the wooded north edge or walk to the lake.
+
+        The outbound leg starts on the street network and continues off-road
+        (no matching road segments), producing exactly the kind of off-network
+        movement that makes people trajectories heterogeneous: forest, meadow
+        and lake-side GPS points far from any urban cell.
+        """
+        size = self._world.config.size
+        day_start = day * 86_400.0
+        current_time = day_start + 9 * 3600.0 + float(rng.uniform(0, 1800.0))
+        pieces: List[PathSample] = []
+
+        # Late morning at home.
+        home_dwell = sample_dwell(
+            profile.home,
+            duration=float(rng.uniform(1800.0, 3600.0)),
+            sample_interval=60.0,
+            noise_sigma=self._noise_sigma,
+            rng=rng,
+            start_time=current_time,
+            indoor_drop_probability=self._indoor_drop,
+        )
+        pieces.append(home_dwell)
+        current_time = home_dwell.end_time
+
+        # Pick the destination: hikers head to the forest, the others to the lake.
+        if rng.random() < 0.5:
+            destination = Point(
+                float(rng.uniform(size * 0.3, size * 0.6)), float(rng.uniform(size * 0.86, size * 0.93))
+            )
+        else:
+            destination = Point(
+                float(rng.uniform(size * 0.88, size * 0.96)), float(rng.uniform(size * 0.05, size * 0.18))
+            )
+
+        # Walk along the streets to the edge of the urban core...
+        core_exit = Point(
+            min(max(destination.x, self._world.config.core_min), self._world.config.core_max),
+            self._world.config.core_max if destination.y > size / 2 else self._world.config.core_min,
+        )
+        walk_out = self._walk_leg(profile.home, core_exit, rng, current_time)
+        pieces.append(walk_out)
+        current_time = walk_out.end_time
+
+        # ... then hike off-road to the destination and back.
+        hike_out = sample_path(
+            [core_exit, destination],
+            [None],
+            speed=float(rng.uniform(1.0, 1.4)),
+            sample_interval=float(rng.uniform(15.0, 30.0)),
+            noise_sigma=self._noise_sigma * 1.2,
+            rng=rng,
+            start_time=current_time,
+        )
+        pieces.append(hike_out)
+        current_time = hike_out.end_time
+        picnic = sample_dwell(
+            destination,
+            duration=float(rng.uniform(3600.0, 7200.0)),
+            sample_interval=60.0,
+            noise_sigma=self._noise_sigma,
+            rng=rng,
+            start_time=current_time,
+            indoor_drop_probability=0.1,
+        )
+        pieces.append(picnic)
+        current_time = picnic.end_time
+        hike_back = sample_path(
+            [destination, core_exit],
+            [None],
+            speed=float(rng.uniform(1.0, 1.4)),
+            sample_interval=float(rng.uniform(15.0, 30.0)),
+            noise_sigma=self._noise_sigma * 1.2,
+            rng=rng,
+            start_time=current_time,
+        )
+        pieces.append(hike_back)
+        current_time = hike_back.end_time
+
+        # Walk home and stay in for the evening.
+        walk_home = self._walk_leg(core_exit, profile.home, rng, current_time)
+        pieces.append(walk_home)
+        pieces.append(
+            sample_dwell(
+                profile.home,
+                duration=float(rng.uniform(1800.0, 3600.0)),
+                sample_interval=60.0,
+                noise_sigma=self._noise_sigma,
+                rng=rng,
+                start_time=walk_home.end_time,
+                indoor_drop_probability=self._indoor_drop,
+            )
+        )
+        return concatenate(pieces)
+
+    # ------------------------------------------------------------------ legs
+    def _commute(
+        self,
+        profile: PersonProfile,
+        origin: Point,
+        destination: Point,
+        rng: np.random.Generator,
+        start_time: float,
+    ) -> PathSample:
+        style = profile.commute_style
+        if style == "metro":
+            return self._metro_commute(origin, destination, rng, start_time)
+        if style == "bicycle":
+            return self._routed_leg(
+                self._walk_router, origin, destination, rng, start_time, speed_range=(4.0, 6.0)
+            )
+        if style == "bus":
+            return self._routed_leg(
+                self._road_router, origin, destination, rng, start_time, speed_range=(7.0, 10.0)
+            )
+        return self._walk_leg(origin, destination, rng, start_time)
+
+    def _walk_leg(
+        self, origin: Point, destination: Point, rng: np.random.Generator, start_time: float
+    ) -> PathSample:
+        return self._routed_leg(
+            self._walk_router, origin, destination, rng, start_time, speed_range=(1.1, 1.7)
+        )
+
+    def _routed_leg(
+        self,
+        router: RoadRouter,
+        origin: Point,
+        destination: Point,
+        rng: np.random.Generator,
+        start_time: float,
+        speed_range: Tuple[float, float],
+    ) -> PathSample:
+        waypoints, segment_ids = router.shortest_path(origin, destination)
+        # Short off-road legs from the true origin/destination to the network.
+        waypoints = [origin] + waypoints + [destination]
+        segment_ids = [None] + segment_ids + [None]
+        return sample_path(
+            waypoints,
+            segment_ids,
+            speed=float(rng.uniform(*speed_range)),
+            sample_interval=float(rng.uniform(8.0, 15.0)),
+            noise_sigma=self._noise_sigma,
+            rng=rng,
+            start_time=start_time,
+        )
+
+    def _metro_commute(
+        self,
+        origin: Point,
+        destination: Point,
+        rng: np.random.Generator,
+        start_time: float,
+    ) -> PathSample:
+        """Walk to the nearest metro station, ride, walk to the destination.
+
+        This is the home-office pattern of Figure 15: a walking leg, a metro
+        leg travelled at metro speed, and a final walking leg.  When origin and
+        destination share the nearest station the commute degenerates to a
+        plain walk.
+        """
+        origin_station = self._metro_router.node_position(
+            self._metro_router.nearest_node(origin)
+        )
+        destination_station = self._metro_router.node_position(
+            self._metro_router.nearest_node(destination)
+        )
+        if origin_station.distance_to(destination_station) < 1.0:
+            return self._walk_leg(origin, destination, rng, start_time)
+
+        pieces: List[PathSample] = []
+        walk_in = self._walk_leg(origin, origin_station, rng, start_time)
+        pieces.append(walk_in)
+        ride_waypoints, ride_segments = self._metro_router.shortest_path(
+            origin_station, destination_station
+        )
+        ride = sample_path(
+            ride_waypoints,
+            ride_segments,
+            speed=float(rng.uniform(14.0, 18.0)),
+            sample_interval=float(rng.uniform(8.0, 15.0)),
+            noise_sigma=self._noise_sigma * 1.5,
+            rng=rng,
+            start_time=walk_in.end_time,
+        )
+        pieces.append(ride)
+        pieces.append(self._walk_leg(destination_station, destination, rng, ride.end_time))
+        return concatenate(pieces)
+
+    # -------------------------------------------------------------- utilities
+    def _nearby_poi_location(self, around: Point, rng: np.random.Generator) -> Point:
+        pois = self._world.poi_source().pois_within(around, radius=800.0)
+        if pois:
+            _, poi = pois[int(rng.integers(0, len(pois)))]
+            return poi.location
+        return Point(
+            around.x + float(rng.normal(0.0, 200.0)),
+            around.y + float(rng.normal(0.0, 200.0)),
+        )
+
+    def _apply_variable_sampling(
+        self, points: Sequence[SpatioTemporalPoint], rng: np.random.Generator
+    ) -> List[SpatioTemporalPoint]:
+        """Randomly thin the stream to emulate duty-cycled GPS sampling."""
+        if len(points) <= 10:
+            return list(points)
+        kept: List[SpatioTemporalPoint] = [points[0]]
+        for point in points[1:-1]:
+            if rng.random() < 0.85:
+                kept.append(point)
+        kept.append(points[-1])
+        return kept

@@ -1,0 +1,153 @@
+"""Shortest-path routing over a road network.
+
+The movement simulators plan trips as shortest paths over the crossing graph
+of a :class:`~repro.lines.road_network.RoadNetwork`.  The router builds an
+undirected weighted graph whose nodes are segment endpoints (snapped to a
+small grid so floating-point endpoints that should coincide do) and whose
+edges are the road segments, then answers shortest-path queries with
+Dijkstra's algorithm.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import SourceError
+from repro.core.places import LineOfInterest
+from repro.geometry.primitives import Point
+from repro.lines.road_network import RoadNetwork
+
+NodeKey = Tuple[int, int]
+
+
+def _node_key(point: Point) -> NodeKey:
+    return (round(point.x * 10), round(point.y * 10))
+
+
+class RoadRouter:
+    """Dijkstra routing over the crossing graph of a road network.
+
+    Parameters
+    ----------
+    network:
+        The road network to route over.
+    allowed_types:
+        Road types the traveller may use (None allows every type).
+    weight:
+        ``"distance"`` minimises travelled length; ``"time"`` divides each
+        segment length by its travel speed, which makes fast links (metro,
+        highway) attractive for the multimodal commute simulation.
+    type_speeds:
+        Optional travel speed per road type (m/s), used with ``weight="time"``
+        to model the traveller (e.g. walking on roads but riding the metro);
+        road types not listed fall back to the segment's speed limit.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        allowed_types: Optional[Sequence[str]] = None,
+        weight: str = "distance",
+        type_speeds: Optional[Dict[str, float]] = None,
+    ):
+        if weight not in ("distance", "time"):
+            raise ValueError("weight must be 'distance' or 'time'")
+        self._network = network
+        self._allowed_types = set(allowed_types) if allowed_types is not None else None
+        self._nodes: Dict[NodeKey, Point] = {}
+        self._edges: Dict[NodeKey, List[Tuple[NodeKey, float, str]]] = {}
+        speeds = type_speeds or {}
+        for segment in network.segments:
+            if self._allowed_types is not None and segment.road_type not in self._allowed_types:
+                continue
+            start_key = _node_key(segment.segment.start)
+            end_key = _node_key(segment.segment.end)
+            self._nodes.setdefault(start_key, segment.segment.start)
+            self._nodes.setdefault(end_key, segment.segment.end)
+            length = max(segment.length, 1e-6)
+            if weight == "distance":
+                cost = length
+            else:
+                speed = speeds.get(segment.road_type, segment.speed_limit)
+                cost = length / max(speed, 0.1)
+            self._edges.setdefault(start_key, []).append((end_key, cost, segment.place_id))
+            self._edges.setdefault(end_key, []).append((start_key, cost, segment.place_id))
+        if not self._nodes:
+            raise SourceError("the road network has no segments of the allowed types")
+
+    # --------------------------------------------------------------- helpers
+    @property
+    def node_count(self) -> int:
+        """Number of crossings in the routing graph."""
+        return len(self._nodes)
+
+    def nearest_node(self, point: Point) -> NodeKey:
+        """The crossing closest to ``point``."""
+        return min(
+            self._nodes.items(), key=lambda item: item[1].distance_to(point)
+        )[0]
+
+    def node_position(self, key: NodeKey) -> Point:
+        """Position of a crossing."""
+        return self._nodes[key]
+
+    # ---------------------------------------------------------------- routing
+    def shortest_path(
+        self, origin: Point, destination: Point
+    ) -> Tuple[List[Point], List[str]]:
+        """Shortest path between the crossings nearest to origin and destination.
+
+        Returns ``(waypoints, segment_ids)``: the sequence of crossing
+        positions visited and the identifier of the road segment travelled
+        between each pair of consecutive waypoints.  Raises
+        :class:`SourceError` when the two crossings are not connected.
+        """
+        source = self.nearest_node(origin)
+        target = self.nearest_node(destination)
+        if source == target:
+            return [self._nodes[source]], []
+
+        distances: Dict[NodeKey, float] = {source: 0.0}
+        previous: Dict[NodeKey, Tuple[NodeKey, str]] = {}
+        visited: Set[NodeKey] = set()
+        heap: List[Tuple[float, NodeKey]] = [(0.0, source)]
+
+        while heap:
+            distance, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == target:
+                break
+            for neighbor, weight, segment_id in self._edges.get(node, ()):
+                if neighbor in visited:
+                    continue
+                candidate = distance + weight
+                if candidate < distances.get(neighbor, math.inf):
+                    distances[neighbor] = candidate
+                    previous[neighbor] = (node, segment_id)
+                    heapq.heappush(heap, (candidate, neighbor))
+
+        if target not in distances:
+            raise SourceError("origin and destination are not connected in the road network")
+
+        waypoints: List[Point] = [self._nodes[target]]
+        segment_ids: List[str] = []
+        cursor = target
+        while cursor != source:
+            parent, segment_id = previous[cursor]
+            waypoints.append(self._nodes[parent])
+            segment_ids.append(segment_id)
+            cursor = parent
+        waypoints.reverse()
+        segment_ids.reverse()
+        return waypoints, segment_ids
+
+    def path_length(self, waypoints: Sequence[Point]) -> float:
+        """Total length of a waypoint polyline."""
+        total = 0.0
+        for previous_point, current in zip(waypoints, waypoints[1:]):
+            total += previous_point.distance_to(current)
+        return total

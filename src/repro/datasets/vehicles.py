@@ -1,0 +1,247 @@
+"""Vehicle trajectory simulators: taxis and private cars.
+
+Substitutes for the Lausanne taxi dataset (two taxis, 1 s sampling, five
+months) and the Milan private-car dataset (~17k cars, ~40 s sampling, one
+week) of Table 1.  Record counts are scaled down so the experiments run on a
+laptop, but the structural properties the experiments depend on are kept:
+
+* taxis spend most of their time driving on the urban road network with short
+  pick-up/drop-off stops, so their GPS points concentrate in building and
+  transportation landuse cells (Figure 9);
+* private cars make a small number of trips per day, each ending in a stop
+  near POIs whose category mix is dominated by shopping ("item sale") and
+  leisure ("person life"), which is what Figure 11 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.points import RawTrajectory
+from repro.datasets.movement import PathSample, concatenate, sample_dwell, sample_path
+from repro.datasets.routing import RoadRouter
+from repro.datasets.world import SyntheticWorld
+from repro.geometry.primitives import Point
+
+#: Stop-purpose mix of private-car trips; chosen so the inferred stop categories
+#: reproduce the ordering of Figure 11 (item sale > person life > feedings...).
+PRIVATE_CAR_PURPOSE_MIX: Dict[str, float] = {
+    "item sale": 0.50,
+    "person life": 0.25,
+    "feedings": 0.12,
+    "services": 0.10,
+    "unknown": 0.03,
+}
+
+
+@dataclass
+class VehicleDataset:
+    """A generated vehicle dataset: daily trajectories plus ground truth."""
+
+    trajectories: List[RawTrajectory]
+    truth_segments: Dict[str, List[Optional[str]]] = field(default_factory=dict)
+    stop_purposes: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def gps_record_count(self) -> int:
+        """Total number of GPS fixes in the dataset."""
+        return sum(len(trajectory) for trajectory in self.trajectories)
+
+    @property
+    def object_ids(self) -> List[str]:
+        """Distinct moving-object identifiers."""
+        return sorted({trajectory.object_id for trajectory in self.trajectories})
+
+
+class TaxiFleetSimulator:
+    """Simulates a small taxi fleet driving fares across the city all day."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        taxi_count: int = 2,
+        days: int = 2,
+        fares_per_day: int = 10,
+        sample_interval: float = 5.0,
+        noise_sigma: float = 6.0,
+        seed: int = 11,
+    ):
+        self._world = world
+        self._taxi_count = taxi_count
+        self._days = days
+        self._fares_per_day = fares_per_day
+        self._sample_interval = sample_interval
+        self._noise_sigma = noise_sigma
+        self._seed = seed
+        self._router = RoadRouter(world.road_network(), allowed_types=("road", "highway"))
+
+    def generate(self) -> VehicleDataset:
+        """Generate one daily trajectory per taxi per day."""
+        trajectories: List[RawTrajectory] = []
+        truth: Dict[str, List[Optional[str]]] = {}
+        for taxi_index in range(self._taxi_count):
+            for day in range(self._days):
+                rng = np.random.default_rng(self._seed + taxi_index * 1000 + day)
+                trajectory_id = f"taxi{taxi_index}-day{day}"
+                sample = self._simulate_day(rng, day)
+                trajectory = RawTrajectory(
+                    sample.points, object_id=f"taxi{taxi_index}", trajectory_id=trajectory_id
+                )
+                trajectories.append(trajectory)
+                truth[trajectory_id] = sample.truth_segment_ids
+        return VehicleDataset(trajectories=trajectories, truth_segments=truth)
+
+    def _simulate_day(self, rng: np.random.Generator, day: int) -> PathSample:
+        start_time = day * 86_400.0 + 6 * 3600.0
+        position = self._world.random_core_location(rng)
+        pieces: List[PathSample] = []
+        current_time = start_time
+        for _ in range(self._fares_per_day):
+            destination = self._world.random_core_location(rng)
+            waypoints, segment_ids = self._router.shortest_path(position, destination)
+            speed = float(rng.uniform(8.0, 12.0))
+            drive = sample_path(
+                waypoints,
+                segment_ids,
+                speed=speed,
+                sample_interval=self._sample_interval,
+                noise_sigma=self._noise_sigma,
+                rng=rng,
+                start_time=current_time,
+            )
+            pieces.append(drive)
+            current_time = drive.end_time
+            # Pull over into the block for the pick-up / drop-off dwell: the
+            # fare's doorstep is some tens of metres away from the crossing.
+            arrival = waypoints[-1] if waypoints else destination
+            dwell_location = Point(
+                arrival.x + float(rng.uniform(55.0, 90.0)) * (1 if rng.random() < 0.5 else -1),
+                arrival.y + float(rng.uniform(55.0, 90.0)) * (1 if rng.random() < 0.5 else -1),
+            )
+            dwell_duration = float(rng.uniform(240.0, 720.0))
+            dwell = sample_dwell(
+                dwell_location,
+                duration=dwell_duration,
+                sample_interval=self._sample_interval,
+                noise_sigma=self._noise_sigma * 0.4,
+                rng=rng,
+                start_time=current_time,
+            )
+            pieces.append(dwell)
+            current_time = dwell.end_time
+            position = arrival
+        return concatenate(pieces)
+
+
+class PrivateCarSimulator:
+    """Simulates private cars making purpose-driven trips ending near POIs."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        car_count: int = 40,
+        trips_per_car: int = 2,
+        sample_interval: float = 40.0,
+        noise_sigma: float = 10.0,
+        seed: int = 23,
+    ):
+        self._world = world
+        self._car_count = car_count
+        self._trips_per_car = trips_per_car
+        self._sample_interval = sample_interval
+        self._noise_sigma = noise_sigma
+        self._seed = seed
+        self._router = RoadRouter(world.road_network(), allowed_types=("road", "highway"))
+        self._poi_source = world.poi_source()
+        self._purposes = list(PRIVATE_CAR_PURPOSE_MIX.keys())
+        self._purpose_probabilities = np.array(
+            [PRIVATE_CAR_PURPOSE_MIX[purpose] for purpose in self._purposes]
+        )
+        self._purpose_probabilities /= self._purpose_probabilities.sum()
+
+    def generate(self) -> VehicleDataset:
+        """Generate one daily trajectory per car, with purpose-driven stops."""
+        trajectories: List[RawTrajectory] = []
+        truth: Dict[str, List[Optional[str]]] = {}
+        purposes: Dict[str, List[str]] = {}
+        for car_index in range(self._car_count):
+            rng = np.random.default_rng(self._seed + car_index)
+            trajectory_id = f"car{car_index}-day0"
+            sample, trip_purposes = self._simulate_day(rng)
+            if len(sample.points) < 5:
+                continue
+            trajectory = RawTrajectory(
+                sample.points, object_id=f"car{car_index}", trajectory_id=trajectory_id
+            )
+            trajectories.append(trajectory)
+            truth[trajectory_id] = sample.truth_segment_ids
+            purposes[trajectory_id] = trip_purposes
+        return VehicleDataset(
+            trajectories=trajectories, truth_segments=truth, stop_purposes=purposes
+        )
+
+    def _simulate_day(self, rng: np.random.Generator) -> Tuple[PathSample, List[str]]:
+        home = self._world.random_home(rng)
+        position = home
+        current_time = 9 * 3600.0 + float(rng.uniform(0, 3600.0))
+        pieces: List[PathSample] = []
+        trip_purposes: List[str] = []
+        for _ in range(self._trips_per_car):
+            purpose = self._purposes[
+                int(rng.choice(len(self._purposes), p=self._purpose_probabilities))
+            ]
+            destination = self._destination_for_purpose(purpose, rng)
+            waypoints, segment_ids = self._router.shortest_path(position, destination)
+            drive = sample_path(
+                waypoints,
+                segment_ids,
+                speed=float(rng.uniform(8.0, 14.0)),
+                sample_interval=self._sample_interval,
+                noise_sigma=self._noise_sigma,
+                rng=rng,
+                start_time=current_time,
+            )
+            pieces.append(drive)
+            current_time = drive.end_time
+            # Park next to the destination POI and perform the activity.
+            dwell_location = Point(
+                destination.x + float(rng.normal(0.0, 6.0)),
+                destination.y + float(rng.normal(0.0, 6.0)),
+            )
+            dwell = sample_dwell(
+                dwell_location,
+                duration=float(rng.uniform(900.0, 3600.0)),
+                sample_interval=self._sample_interval,
+                noise_sigma=self._noise_sigma * 0.6,
+                rng=rng,
+                start_time=current_time,
+            )
+            pieces.append(dwell)
+            current_time = dwell.end_time
+            trip_purposes.append(purpose)
+            position = dwell_location
+        # Return home.
+        waypoints, segment_ids = self._router.shortest_path(position, home)
+        pieces.append(
+            sample_path(
+                waypoints,
+                segment_ids,
+                speed=float(rng.uniform(8.0, 14.0)),
+                sample_interval=self._sample_interval,
+                noise_sigma=self._noise_sigma,
+                rng=rng,
+                start_time=current_time,
+            )
+        )
+        return concatenate(pieces), trip_purposes
+
+    def _destination_for_purpose(self, purpose: str, rng: np.random.Generator) -> Point:
+        """A location next to a random POI of the requested category."""
+        candidates = [poi for poi in self._poi_source.pois if poi.category == purpose]
+        if not candidates:
+            return self._world.random_core_location(rng)
+        poi = candidates[int(rng.integers(0, len(candidates)))]
+        return poi.location

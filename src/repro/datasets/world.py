@@ -1,0 +1,428 @@
+"""The synthetic world: landuse grid, road network and POI set.
+
+This module builds the geographic substrate every experiment runs on.  It
+substitutes the paper's third-party sources:
+
+* the **landuse grid** plays the role of the Swisstopo landuse data: square
+  cells of 100 m carrying one of the 17 sub-categories of Figure 4, laid out
+  as a stylised city (an urban core of building areas with a commercial
+  centre, transport corridors along the arterial roads, a recreation park, a
+  lake and a river on the east side, forest to the north and agricultural
+  land around);
+* the **road network** plays the role of the OpenStreetMap / Seattle road
+  data: a street grid in the urban core, two highways crossing the whole
+  extent, a metro line with stations connected to the street grid and
+  footpaths through the park;
+* the **POI set** plays the role of the Milan POI registry: points of
+  interest concentrated around the commercial centre with the same five
+  top-categories and a category mix close to the Milan proportions.
+
+Everything is deterministic given the configuration seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.places import PointOfInterest, RegionOfInterest
+from repro.geometry.grid import GridSpec
+from repro.geometry.primitives import BoundingBox, Point
+from repro.lines.road_network import RoadNetwork, make_road_segment
+from repro.points.poi import PoiSource
+from repro.regions.sources import RegionSource
+
+#: Category mix of the Milan POI dataset (Section 4.3 / Figure 5).
+MILAN_POI_MIX: Dict[str, float] = {
+    "services": 4339 / 39772,
+    "feedings": 7036 / 39772,
+    "item sale": 12510 / 39772,
+    "person life": 15371 / 39772,
+    "unknown": 516 / 39772,
+}
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Parameters of the synthetic world."""
+
+    size: float = 8000.0
+    """Edge length of the square world, in metres."""
+
+    landuse_cell_size: float = 100.0
+    """Edge length of the landuse cells (100 m, as in Swisstopo)."""
+
+    road_spacing: float = 400.0
+    """Spacing of the urban street grid."""
+
+    poi_count: int = 2000
+    """Number of points of interest to generate."""
+
+    seed: int = 7
+    """Seed of the deterministic random generator."""
+
+    @property
+    def core_min(self) -> float:
+        """Lower bound of the urban core on both axes."""
+        return self.size * 0.25
+
+    @property
+    def core_max(self) -> float:
+        """Upper bound of the urban core on both axes."""
+        return self.size * 0.75
+
+    @property
+    def commercial_center(self) -> Point:
+        """Centre of the commercial district (densest POI area)."""
+        return Point(self.size / 2.0, self.size / 2.0)
+
+
+class SyntheticWorld:
+    """Deterministic synthetic geography (landuse + roads + POIs)."""
+
+    def __init__(self, config: WorldConfig = WorldConfig()):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._landuse_regions: Optional[List[RegionOfInterest]] = None
+        self._region_source: Optional[RegionSource] = None
+        self._road_network: Optional[RoadNetwork] = None
+        self._poi_source: Optional[PoiSource] = None
+
+    # ------------------------------------------------------------------ bounds
+    @property
+    def bounds(self) -> BoundingBox:
+        """Bounding box of the world."""
+        return BoundingBox(0.0, 0.0, self.config.size, self.config.size)
+
+    # ----------------------------------------------------------------- landuse
+    def landuse_category_at(self, point: Point) -> str:
+        """Landuse sub-category code of the cell containing ``point``."""
+        return self._category_for_cell_center(point.x, point.y)
+
+    def landuse_regions(self) -> List[RegionOfInterest]:
+        """One rectangular region of interest per landuse cell."""
+        if self._landuse_regions is not None:
+            return self._landuse_regions
+        cell = self.config.landuse_cell_size
+        # The grid is offset by half a cell so that roads (which run along
+        # multiples of the road spacing) pass through cell interiors rather
+        # than along cell boundaries; otherwise GPS noise makes points near a
+        # road flip between the two adjacent cells at every fix.
+        grid = GridSpec.covering(
+            BoundingBox(
+                -cell / 2.0, -cell / 2.0, self.config.size + cell / 2.0, self.config.size + cell / 2.0
+            ),
+            cell,
+        )
+        regions: List[RegionOfInterest] = []
+        for col, row in grid.all_cells():
+            box = grid.cell_bounds((col, row))
+            center = box.center
+            category = self._category_for_cell_center(center.x, center.y)
+            regions.append(
+                RegionOfInterest(
+                    place_id=f"cell-{col}-{row}",
+                    name=f"landuse cell ({col}, {row})",
+                    category=category,
+                    extent=box,
+                )
+            )
+        self._landuse_regions = regions
+        return regions
+
+    def region_source(self) -> RegionSource:
+        """The landuse cells wrapped in an indexed region source."""
+        if self._region_source is None:
+            self._region_source = RegionSource(self.landuse_regions(), name="landuse")
+        return self._region_source
+
+    def _category_for_cell_center(self, x: float, y: float) -> str:
+        size = self.config.size
+        core_min, core_max = self.config.core_min, self.config.core_max
+
+        # Water bodies on the east side.
+        if x >= size * 0.9 and y <= size * 0.2:
+            return "4.13"  # lake
+        if size * 0.875 <= x < size * 0.9:
+            return "4.14"  # river
+
+        # Forested north edge, with a brush/wood transition band.
+        if y >= size * 0.9:
+            return "3.10" if int(x // self.config.landuse_cell_size) % 7 else "3.11"
+        if size * 0.85 <= y < size * 0.9:
+            return "3.12"
+
+        # Glacier / bare land corner and unproductive western fringe.
+        if x <= size * 0.05 and y >= size * 0.8:
+            return "4.17"
+        if x <= size * 0.03:
+            return "4.16"
+        if y <= size * 0.03:
+            return "4.15"
+
+        # Transport corridors: highway rows/columns and urban arterials.
+        if self._is_transport_cell(x, y):
+            return "1.3"
+
+        # Urban core.
+        if core_min <= x <= core_max and core_min <= y <= core_max:
+            center = self.config.commercial_center
+            if abs(x - center.x) <= size * 0.05 and abs(y - center.y) <= size * 0.05:
+                return "1.1"  # commercial / industrial centre
+            if (
+                size * 0.60 <= x <= size * 0.70
+                and size * 0.30 <= y <= size * 0.40
+            ):
+                return "1.5"  # recreation park
+            if size * 0.28 <= x <= size * 0.32 and size * 0.60 <= y <= size * 0.64:
+                return "1.4"  # special urban block
+            return "1.2"  # building areas
+
+        # Suburban ring and countryside.
+        if y <= size * 0.12 or x <= size * 0.12:
+            return "2.9" if (x + y) < size * 0.18 else "2.8"
+        cell_index = int(x // self.config.landuse_cell_size) + int(
+            y // self.config.landuse_cell_size
+        )
+        if cell_index % 11 == 0:
+            return "2.6"
+        return "2.7" if cell_index % 2 == 0 else "2.8"
+
+    def _is_transport_cell(self, x: float, y: float) -> bool:
+        size = self.config.size
+        half_cell = self.config.landuse_cell_size / 2.0
+        highway_positions = (size * 0.125, size * 0.125)
+        if abs(y - highway_positions[0]) <= half_cell or abs(x - highway_positions[1]) <= half_cell:
+            return True
+        core_min, core_max = self.config.core_min, self.config.core_max
+        if not (core_min - half_cell <= x <= core_max + half_cell):
+            in_core_x = False
+        else:
+            in_core_x = True
+        in_core_y = core_min - half_cell <= y <= core_max + half_cell
+        if not (in_core_x and in_core_y):
+            return False
+        arterial_spacing = self.config.road_spacing * 2.0
+        offset_x = (x - core_min) % arterial_spacing
+        offset_y = (y - core_min) % arterial_spacing
+        near_x = min(offset_x, arterial_spacing - offset_x) <= half_cell
+        near_y = min(offset_y, arterial_spacing - offset_y) <= half_cell
+        return near_x or near_y
+
+    # ------------------------------------------------------------------- roads
+    def road_network(self) -> RoadNetwork:
+        """Street grid + highways + metro line + park footpaths."""
+        if self._road_network is not None:
+            return self._road_network
+        segments = []
+        size = self.config.size
+        spacing = self.config.road_spacing
+        core_min, core_max = self.config.core_min, self.config.core_max
+
+        # Urban street grid.
+        xs = _frange(core_min, core_max, spacing)
+        ys = _frange(core_min, core_max, spacing)
+        for x in xs:
+            for y_start, y_end in zip(ys, ys[1:]):
+                segments.append(
+                    make_road_segment(
+                        place_id=f"street-v-{int(x)}-{int(y_start)}",
+                        name=f"Vertical street {int(x)}",
+                        start=Point(x, y_start),
+                        end=Point(x, y_end),
+                        road_type="road",
+                    )
+                )
+        for y in ys:
+            for x_start, x_end in zip(xs, xs[1:]):
+                segments.append(
+                    make_road_segment(
+                        place_id=f"street-h-{int(x_start)}-{int(y)}",
+                        name=f"Horizontal street {int(y)}",
+                        start=Point(x_start, y),
+                        end=Point(x_end, y),
+                        road_type="road",
+                    )
+                )
+
+        # Two highways crossing the whole extent.
+        highway_y = size * 0.125
+        highway_x = size * 0.125
+        for x_start, x_end in zip(_frange(0, size, spacing), _frange(spacing, size + spacing, spacing)):
+            if x_end > size:
+                break
+            segments.append(
+                make_road_segment(
+                    place_id=f"highway-h-{int(x_start)}",
+                    name="East-west highway",
+                    start=Point(x_start, highway_y),
+                    end=Point(x_end, highway_y),
+                    road_type="highway",
+                )
+            )
+        for y_start, y_end in zip(_frange(0, size, spacing), _frange(spacing, size + spacing, spacing)):
+            if y_end > size:
+                break
+            segments.append(
+                make_road_segment(
+                    place_id=f"highway-v-{int(y_start)}",
+                    name="North-south highway",
+                    start=Point(highway_x, y_start),
+                    end=Point(highway_x, y_end),
+                    road_type="highway",
+                )
+            )
+
+        # Highway access ramps connecting the grid corners to the highways.
+        segments.append(
+            make_road_segment(
+                place_id="ramp-west",
+                name="West access ramp",
+                start=Point(highway_x, core_min),
+                end=Point(core_min, core_min),
+                road_type="road",
+            )
+        )
+        segments.append(
+            make_road_segment(
+                place_id="ramp-south",
+                name="South access ramp",
+                start=Point(core_min, highway_y),
+                end=Point(core_min, core_min),
+                road_type="road",
+            )
+        )
+
+        # Metro line: horizontal at mid-height, offset from the street grid,
+        # with stations every two spacings connected to the nearest street
+        # crossing by short footpaths.
+        metro_y = size / 2.0 + spacing / 2.0
+        street_y_near_metro = core_min + round((metro_y - core_min) / spacing) * spacing
+        metro_xs = _frange(core_min, core_max, spacing)
+        for x_start, x_end in zip(metro_xs, metro_xs[1:]):
+            segments.append(
+                make_road_segment(
+                    place_id=f"metro-{int(x_start)}",
+                    name="Metro line M1",
+                    start=Point(x_start, metro_y),
+                    end=Point(x_end, metro_y),
+                    road_type="metro_line",
+                )
+            )
+        for index, x in enumerate(metro_xs):
+            if index % 2 == 0:
+                segments.append(
+                    make_road_segment(
+                        place_id=f"station-access-{int(x)}",
+                        name=f"Metro station access {int(x)}",
+                        start=Point(x, metro_y),
+                        end=Point(x, street_y_near_metro),
+                        road_type="path_way",
+                    )
+                )
+
+        # Footpaths through the recreation park, offset from the street grid and
+        # connected to it by a short access path.
+        park_min_x, park_max_x = size * 0.60, size * 0.70
+        park_y = size * 0.35 - spacing / 4.0
+        path_xs = _frange(park_min_x, park_max_x, spacing / 2.0)
+        for x_start, x_end in zip(path_xs, path_xs[1:]):
+            segments.append(
+                make_road_segment(
+                    place_id=f"path-{int(x_start)}",
+                    name="Park footpath",
+                    start=Point(x_start, park_y),
+                    end=Point(x_end, park_y),
+                    road_type="path_way",
+                )
+            )
+        access_x = core_min + round((park_min_x - core_min) / spacing) * spacing
+        access_y = core_min + round((park_y - core_min) / spacing) * spacing
+        segments.append(
+            make_road_segment(
+                place_id="path-access",
+                name="Park footpath access",
+                start=Point(park_min_x, park_y),
+                end=Point(access_x, access_y),
+                road_type="path_way",
+            )
+        )
+        self._road_network = RoadNetwork(segments, name="synthetic-city")
+        return self._road_network
+
+    # -------------------------------------------------------------------- POIs
+    def generate_pois(self, count: Optional[int] = None) -> List[PointOfInterest]:
+        """Points of interest with the Milan category mix, clustered downtown."""
+        total = count if count is not None else self.config.poi_count
+        rng = np.random.default_rng(self.config.seed + 1)
+        categories = list(MILAN_POI_MIX.keys())
+        probabilities = np.array([MILAN_POI_MIX[category] for category in categories])
+        probabilities = probabilities / probabilities.sum()
+        center = self.config.commercial_center
+        core_min, core_max = self.config.core_min, self.config.core_max
+        size = self.config.size
+
+        pois: List[PointOfInterest] = []
+        for index in range(total):
+            category = categories[int(rng.choice(len(categories), p=probabilities))]
+            mixture = rng.random()
+            if mixture < 0.55:
+                x = float(rng.normal(center.x, size * 0.06))
+                y = float(rng.normal(center.y, size * 0.06))
+            elif mixture < 0.90:
+                x = float(rng.uniform(core_min, core_max))
+                y = float(rng.uniform(core_min, core_max))
+            else:
+                x = float(rng.uniform(size * 0.15, size * 0.85))
+                y = float(rng.uniform(size * 0.15, size * 0.85))
+            x = min(max(x, 0.0), size)
+            y = min(max(y, 0.0), size)
+            pois.append(
+                PointOfInterest(
+                    place_id=f"poi-{index}",
+                    name=f"{category} #{index}",
+                    category=category,
+                    location=Point(x, y),
+                )
+            )
+        return pois
+
+    def poi_source(self) -> PoiSource:
+        """The generated POIs wrapped in an indexed source."""
+        if self._poi_source is None:
+            self._poi_source = PoiSource(self.generate_pois(), name="synthetic-pois")
+        return self._poi_source
+
+    # ---------------------------------------------------------------- sampling
+    def random_core_location(self, rng: np.random.Generator) -> Point:
+        """A uniform random location inside the urban core."""
+        return Point(
+            float(rng.uniform(self.config.core_min, self.config.core_max)),
+            float(rng.uniform(self.config.core_min, self.config.core_max)),
+        )
+
+    def random_home(self, rng: np.random.Generator) -> Point:
+        """A residential location: in the core but away from the commercial centre."""
+        while True:
+            location = self.random_core_location(rng)
+            if location.distance_to(self.config.commercial_center) > self.config.size * 0.12:
+                return location
+
+    def random_office(self, rng: np.random.Generator) -> Point:
+        """A work location near the commercial centre."""
+        center = self.config.commercial_center
+        return Point(
+            float(rng.normal(center.x, self.config.size * 0.05)),
+            float(rng.normal(center.y, self.config.size * 0.05)),
+        )
+
+
+def _frange(start: float, stop: float, step: float) -> List[float]:
+    """Inclusive floating-point range with a fixed step."""
+    values: List[float] = []
+    count = int(round((stop - start) / step))
+    for index in range(count + 1):
+        values.append(start + index * step)
+    return values

@@ -1,0 +1,122 @@
+"""GeoJSON serialisation of trajectories, episodes and semantic trajectories.
+
+The functions return plain Python dictionaries following the GeoJSON
+specification (FeatureCollection / Feature / LineString / Point), so they can
+be passed to ``json.dumps`` directly or consumed by any mapping library.
+Coordinates are emitted exactly as stored (the synthetic world is planar
+metres; real data would be lon/lat).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.episodes import Episode
+from repro.core.points import RawTrajectory
+from repro.core.trajectory import StructuredSemanticTrajectory
+
+
+def _feature(geometry: Dict[str, Any], properties: Dict[str, Any]) -> Dict[str, Any]:
+    return {"type": "Feature", "geometry": geometry, "properties": properties}
+
+
+def _line_string(coordinates: Sequence[Sequence[float]]) -> Dict[str, Any]:
+    return {"type": "LineString", "coordinates": [list(pair) for pair in coordinates]}
+
+
+def _point(x: float, y: float) -> Dict[str, Any]:
+    return {"type": "Point", "coordinates": [x, y]}
+
+
+def raw_trajectory_to_geojson(trajectory: RawTrajectory) -> Dict[str, Any]:
+    """One LineString feature for the whole raw trajectory."""
+    coordinates = [(point.x, point.y) for point in trajectory]
+    properties = {
+        "trajectory_id": trajectory.trajectory_id,
+        "object_id": trajectory.object_id,
+        "start_time": trajectory.start_time,
+        "end_time": trajectory.end_time,
+        "point_count": len(trajectory),
+    }
+    return {"type": "FeatureCollection", "features": [_feature(_line_string(coordinates), properties)]}
+
+
+def episodes_to_geojson(episodes: Sequence[Episode]) -> Dict[str, Any]:
+    """Stops as Point features (their centre), moves as LineString features."""
+    features: List[Dict[str, Any]] = []
+    for episode in episodes:
+        properties: Dict[str, Any] = {
+            "kind": episode.kind.value,
+            "trajectory_id": episode.trajectory.trajectory_id,
+            "time_in": episode.time_in,
+            "time_out": episode.time_out,
+            "point_count": len(episode),
+        }
+        for annotation in episode.annotations:
+            label = getattr(annotation, "label", None)
+            value = getattr(annotation, "value", None)
+            if label and value is not None:
+                properties[label] = value
+            category = getattr(annotation, "category", None)
+            if category is not None:
+                properties.setdefault("category", category)
+        if episode.is_stop:
+            center = episode.center()
+            geometry = _point(center.x, center.y)
+        else:
+            geometry = _line_string([(point.x, point.y) for point in episode.points])
+        features.append(_feature(geometry, properties))
+    return {"type": "FeatureCollection", "features": features}
+
+
+def structured_trajectory_to_geojson(
+    structured: StructuredSemanticTrajectory,
+    include_unplaced: bool = True,
+) -> Dict[str, Any]:
+    """One feature per semantic episode record.
+
+    Records linked to a point-like place become Point features at the place
+    location; records linked to a region or road segment use the place's
+    bounding-box centre; records without a place (partial annotation) become
+    property-only features with a null geometry unless ``include_unplaced`` is
+    false.
+    """
+    features: List[Dict[str, Any]] = []
+    for index, record in enumerate(structured):
+        properties: Dict[str, Any] = {
+            "sequence": index,
+            "kind": record.kind.value,
+            "time_in": record.time_in,
+            "time_out": record.time_out,
+            "duration": record.duration,
+        }
+        if record.place is not None:
+            properties["place_id"] = record.place.place_id
+            properties["place_name"] = record.place.name
+            properties["category"] = record.place.category
+        if record.transport_mode is not None:
+            properties["transport_mode"] = record.transport_mode
+        if record.activity is not None:
+            properties["activity"] = record.activity
+
+        geometry: Optional[Dict[str, Any]]
+        if record.place is not None:
+            center = record.place.bounding_box().center
+            geometry = _point(center.x, center.y)
+        elif record.source_episode is not None:
+            center = record.source_episode.center()
+            geometry = _point(center.x, center.y)
+        else:
+            geometry = None
+        if geometry is None and not include_unplaced:
+            continue
+        features.append(_feature(geometry if geometry is not None else _point(0.0, 0.0), properties))
+    return {
+        "type": "FeatureCollection",
+        "features": features,
+        "properties": {
+            "trajectory_id": structured.trajectory_id,
+            "object_id": structured.object_id,
+            "record_count": len(structured),
+        },
+    }

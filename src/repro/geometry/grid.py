@@ -1,0 +1,180 @@
+"""Regular grid utilities.
+
+Two of SeMiTri's layers rely on regular grids:
+
+* the landuse source (Swisstopo in the paper) partitions space into 100 m x
+  100 m cells, each carrying a landuse category;
+* the point-annotation layer discretises the POI area into grid cells and
+  pre-computes, per cell, the observation probability of each POI category
+  (Section 4.3 of the paper).
+
+:class:`GridSpec` describes a grid (origin, cell size, number of rows and
+columns) and maps between world coordinates and cell indices.
+:class:`UniformGrid` stores one payload per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.geometry.primitives import BoundingBox, Point
+
+T = TypeVar("T")
+
+CellIndex = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Geometry of a regular grid: origin, cell size and dimensions."""
+
+    origin_x: float
+    origin_y: float
+    cell_size: float
+    n_cols: int
+    n_rows: int
+
+    def __post_init__(self) -> None:
+        if self.cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        if self.n_cols <= 0 or self.n_rows <= 0:
+            raise ValueError("grid dimensions must be positive")
+
+    @classmethod
+    def covering(cls, box: BoundingBox, cell_size: float) -> "GridSpec":
+        """Smallest grid with cells of ``cell_size`` covering ``box``."""
+        import math
+
+        n_cols = max(1, math.ceil(box.width / cell_size))
+        n_rows = max(1, math.ceil(box.height / cell_size))
+        return cls(box.min_x, box.min_y, cell_size, n_cols, n_rows)
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells in the grid."""
+        return self.n_cols * self.n_rows
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """Bounding box covered by the grid."""
+        return BoundingBox(
+            self.origin_x,
+            self.origin_y,
+            self.origin_x + self.n_cols * self.cell_size,
+            self.origin_y + self.n_rows * self.cell_size,
+        )
+
+    def contains(self, point: Point) -> bool:
+        """True when ``point`` falls inside the gridded area."""
+        return self.bounds.contains_point(point)
+
+    def cell_of(self, point: Point) -> Optional[CellIndex]:
+        """Cell index ``(col, row)`` containing ``point``, or None if outside."""
+        if not self.contains(point):
+            return None
+        col = int((point.x - self.origin_x) / self.cell_size)
+        row = int((point.y - self.origin_y) / self.cell_size)
+        col = min(col, self.n_cols - 1)
+        row = min(row, self.n_rows - 1)
+        return (col, row)
+
+    def cell_bounds(self, cell: CellIndex) -> BoundingBox:
+        """Bounding box of cell ``(col, row)``."""
+        col, row = cell
+        self._check_cell(cell)
+        min_x = self.origin_x + col * self.cell_size
+        min_y = self.origin_y + row * self.cell_size
+        return BoundingBox(min_x, min_y, min_x + self.cell_size, min_y + self.cell_size)
+
+    def cell_center(self, cell: CellIndex) -> Point:
+        """Centre point of cell ``(col, row)``."""
+        return self.cell_bounds(cell).center
+
+    def cells_in_box(self, box: BoundingBox) -> List[CellIndex]:
+        """All cells whose rectangle intersects ``box``."""
+        bounds = self.bounds
+        if not bounds.intersects(box):
+            return []
+        clipped = bounds.intersection(box)
+        first_col = int((clipped.min_x - self.origin_x) / self.cell_size)
+        last_col = int((clipped.max_x - self.origin_x) / self.cell_size)
+        first_row = int((clipped.min_y - self.origin_y) / self.cell_size)
+        last_row = int((clipped.max_y - self.origin_y) / self.cell_size)
+        first_col = max(0, min(first_col, self.n_cols - 1))
+        last_col = max(0, min(last_col, self.n_cols - 1))
+        first_row = max(0, min(first_row, self.n_rows - 1))
+        last_row = max(0, min(last_row, self.n_rows - 1))
+        return [
+            (col, row)
+            for row in range(first_row, last_row + 1)
+            for col in range(first_col, last_col + 1)
+        ]
+
+    def neighbors(self, cell: CellIndex, radius: int = 1) -> List[CellIndex]:
+        """Cells within ``radius`` (Chebyshev) of ``cell``, including itself."""
+        col, row = cell
+        self._check_cell(cell)
+        result: List[CellIndex] = []
+        for r in range(max(0, row - radius), min(self.n_rows, row + radius + 1)):
+            for c in range(max(0, col - radius), min(self.n_cols, col + radius + 1)):
+                result.append((c, r))
+        return result
+
+    def all_cells(self) -> Iterator[CellIndex]:
+        """Iterate over every cell index in row-major order."""
+        for row in range(self.n_rows):
+            for col in range(self.n_cols):
+                yield (col, row)
+
+    def _check_cell(self, cell: CellIndex) -> None:
+        col, row = cell
+        if not (0 <= col < self.n_cols and 0 <= row < self.n_rows):
+            raise IndexError(f"cell {cell} outside grid {self.n_cols}x{self.n_rows}")
+
+
+class UniformGrid(Generic[T]):
+    """A sparse mapping from grid cells to payloads of type ``T``."""
+
+    def __init__(self, spec: GridSpec):
+        self._spec = spec
+        self._cells: Dict[CellIndex, T] = {}
+
+    @property
+    def spec(self) -> GridSpec:
+        """Grid geometry."""
+        return self._spec
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, cell: CellIndex) -> bool:
+        return cell in self._cells
+
+    def set(self, cell: CellIndex, value: T) -> None:
+        """Assign ``value`` to ``cell``."""
+        self._spec._check_cell(cell)
+        self._cells[cell] = value
+
+    def get(self, cell: CellIndex, default: Optional[T] = None) -> Optional[T]:
+        """Payload stored at ``cell``, or ``default``."""
+        return self._cells.get(cell, default)
+
+    def value_at(self, point: Point, default: Optional[T] = None) -> Optional[T]:
+        """Payload of the cell containing ``point``, or ``default``."""
+        cell = self._spec.cell_of(point)
+        if cell is None:
+            return default
+        return self._cells.get(cell, default)
+
+    def items(self) -> Iterator[Tuple[CellIndex, T]]:
+        """Iterate over (cell, payload) pairs that have been assigned."""
+        return iter(self._cells.items())
+
+    def values_in_box(self, box: BoundingBox) -> List[T]:
+        """Payloads of assigned cells intersecting ``box``."""
+        result: List[T] = []
+        for cell in self._spec.cells_in_box(box):
+            if cell in self._cells:
+                result.append(self._cells[cell])
+        return result

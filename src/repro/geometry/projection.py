@@ -1,0 +1,65 @@
+"""Local planar projection for WGS84 coordinates.
+
+The synthetic world shipped with this repository already lives in a planar
+metric coordinate system, but real GPS feeds (the Lausanne, Milan and Seattle
+datasets in the paper) are longitude/latitude.  :class:`LocalProjector`
+implements the standard equirectangular approximation around a reference
+latitude: accurate to well under a metre over the tens of kilometres a daily
+trajectory covers, and trivially invertible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.geometry.primitives import Point
+
+_EARTH_RADIUS_METERS = 6_371_000.0
+
+
+class LocalProjector:
+    """Project lon/lat points to local planar metres around a reference point."""
+
+    def __init__(self, reference: Point):
+        self._reference = reference
+        self._cos_lat = math.cos(math.radians(reference.y))
+        if abs(self._cos_lat) < 1e-9:
+            raise ValueError("reference latitude too close to a pole")
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "LocalProjector":
+        """Build a projector centred on the centroid of ``points``."""
+        xs: List[float] = []
+        ys: List[float] = []
+        for point in points:
+            xs.append(point.x)
+            ys.append(point.y)
+        if not xs:
+            raise ValueError("cannot build a projector from an empty point set")
+        return cls(Point(sum(xs) / len(xs), sum(ys) / len(ys)))
+
+    @property
+    def reference(self) -> Point:
+        """The lon/lat reference point (maps to planar (0, 0))."""
+        return self._reference
+
+    def to_planar(self, point: Point) -> Point:
+        """Convert a lon/lat point to planar metres relative to the reference."""
+        dx = math.radians(point.x - self._reference.x) * _EARTH_RADIUS_METERS * self._cos_lat
+        dy = math.radians(point.y - self._reference.y) * _EARTH_RADIUS_METERS
+        return Point(dx, dy)
+
+    def to_lonlat(self, point: Point) -> Point:
+        """Convert a planar point (metres) back to lon/lat."""
+        lon = self._reference.x + math.degrees(point.x / (_EARTH_RADIUS_METERS * self._cos_lat))
+        lat = self._reference.y + math.degrees(point.y / _EARTH_RADIUS_METERS)
+        return Point(lon, lat)
+
+    def project_many(self, points: Iterable[Point]) -> List[Point]:
+        """Project an iterable of lon/lat points to planar metres."""
+        return [self.to_planar(point) for point in points]
+
+    def unproject_many(self, points: Iterable[Point]) -> List[Point]:
+        """Convert an iterable of planar points back to lon/lat."""
+        return [self.to_lonlat(point) for point in points]

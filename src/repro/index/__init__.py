@@ -1,0 +1,13 @@
+"""Spatial indexing substrate.
+
+The paper indexes semantic regions, road segments and POIs with an R*-tree
+([2] in the paper) so that each annotation layer touches only the geographic
+objects near a GPS point.  This package provides a pure-Python R-tree with
+R*-style insertion heuristics and STR bulk loading, plus a simpler uniform
+grid index used when the data is already cell-aligned (landuse).
+"""
+
+from repro.index.rtree import RTree, RTreeEntry
+from repro.index.grid_index import GridIndex
+
+__all__ = ["RTree", "RTreeEntry", "GridIndex"]

@@ -1,0 +1,24 @@
+"""Semantic Line Annotation Layer (Section 4.2, Algorithm 2).
+
+Contains the road-network model, the global map-matching algorithm built on
+the point-segment distance and kernel-weighted global score (Equations 1-4),
+simpler baseline matchers used in ablation benchmarks, and the
+transportation-mode inference applied to matched move episodes.
+"""
+
+from repro.lines.road_network import RoadNetwork
+from repro.lines.map_matching import GlobalMapMatcher, MatchedPoint
+from repro.lines.baselines import IncrementalMatcher, NearestSegmentMatcher, ViterbiMatcher
+from repro.lines.transport_mode import TransportModeClassifier
+from repro.lines.annotator import LineAnnotator
+
+__all__ = [
+    "RoadNetwork",
+    "GlobalMapMatcher",
+    "MatchedPoint",
+    "NearestSegmentMatcher",
+    "IncrementalMatcher",
+    "ViterbiMatcher",
+    "TransportModeClassifier",
+    "LineAnnotator",
+]

@@ -1,0 +1,99 @@
+"""Line annotation layer façade: map matching + transportation-mode inference.
+
+Implements the full Algorithm 2 output: for each move episode, a structured
+semantic trajectory ``T_line`` whose records are the matched road segments,
+each carrying the time interval travelled on it and a transportation-mode
+annotation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.annotations import line_annotation, transport_mode_annotation
+from repro.core.config import MapMatchingConfig, TransportModeConfig
+from repro.core.episodes import Episode
+from repro.core.errors import DataQualityError
+from repro.core.trajectory import SemanticEpisodeRecord, StructuredSemanticTrajectory
+from repro.lines.map_matching import GlobalMapMatcher, MatchedPoint
+from repro.lines.road_network import RoadNetwork
+from repro.lines.transport_mode import ModeSegment, TransportModeClassifier
+
+
+class LineAnnotator:
+    """Annotates move episodes with road segments and transportation modes."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        matching_config: MapMatchingConfig = MapMatchingConfig(),
+        transport_config: TransportModeConfig = TransportModeConfig(),
+    ):
+        self._matcher = GlobalMapMatcher(network, matching_config)
+        self._classifier = TransportModeClassifier(transport_config)
+
+    @property
+    def matcher(self) -> GlobalMapMatcher:
+        """The underlying global map matcher."""
+        return self._matcher
+
+    @property
+    def classifier(self) -> TransportModeClassifier:
+        """The underlying transport-mode classifier."""
+        return self._classifier
+
+    # ---------------------------------------------------------------- episodes
+    def annotate_episode(self, episode: Episode) -> StructuredSemanticTrajectory:
+        """Annotate one move episode (Algorithm 2)."""
+        if not episode.is_move:
+            raise DataQualityError("the line annotation layer only processes move episodes")
+        matched = self._matcher.match(episode.points)
+        mode_segments = self._classifier.segment_modes(matched)
+        return self._to_structured(episode, mode_segments)
+
+    def annotate_episodes(self, episodes: Sequence[Episode]) -> List[StructuredSemanticTrajectory]:
+        """Annotate every move episode in ``episodes`` (non-moves are skipped)."""
+        return [self.annotate_episode(episode) for episode in episodes if episode.is_move]
+
+    def match_episode(self, episode: Episode) -> List[MatchedPoint]:
+        """Raw per-point matching result for a move episode (used by analytics)."""
+        if not episode.is_move:
+            raise DataQualityError("the line annotation layer only processes move episodes")
+        return self._matcher.match(episode.points)
+
+    # --------------------------------------------------------------- assembly
+    def _to_structured(
+        self, episode: Episode, mode_segments: Sequence[ModeSegment]
+    ) -> StructuredSemanticTrajectory:
+        trajectory = episode.trajectory
+        result = StructuredSemanticTrajectory(
+            trajectory_id=f"{trajectory.trajectory_id}:line",
+            object_id=trajectory.object_id,
+        )
+        dominant_mode: Optional[str] = None
+        if mode_segments:
+            durations = {}
+            for segment_info in mode_segments:
+                weight = max(segment_info.duration, float(segment_info.point_count))
+                durations[segment_info.mode] = durations.get(segment_info.mode, 0.0) + weight
+            dominant_mode = max(durations.items(), key=lambda pair: (pair[1], pair[0]))[0]
+
+        for segment_info in mode_segments:
+            place = None
+            annotations = [transport_mode_annotation(segment_info.mode)]
+            if segment_info.segment_id is not None:
+                place = self._matcher.network.segment(segment_info.segment_id)
+                annotations.insert(0, line_annotation(place))
+            record = SemanticEpisodeRecord(
+                place=place,
+                time_in=segment_info.time_in,
+                time_out=segment_info.time_out,
+                kind=episode.kind,
+                annotations=annotations,
+                source_episode=episode,
+            )
+            result.append(record)
+
+        if dominant_mode is not None:
+            episode.add_annotation(transport_mode_annotation(dominant_mode))
+        return result.merged()

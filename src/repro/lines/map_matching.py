@@ -1,0 +1,235 @@
+"""Global map matching (Algorithm 2, Equations 1-4).
+
+For every GPS point of a move episode the matcher:
+
+1. selects the candidate segments within ``candidate_radius`` through the road
+   network's R-tree;
+2. computes the point-segment distance of Equation 1 to every candidate;
+3. normalises those distances to a ``localScore`` (Equation 2): the ratio of
+   the minimum distance over the candidate's distance, so the closest
+   candidate scores 1 and farther ones score proportionally less;
+4. aggregates the local scores of the neighbouring points inside the context
+   window (radius R) with Gaussian kernel weights (Equations 3-4) to produce
+   the ``globalScore``;
+5. picks the candidate with the highest global score and, when requested,
+   snaps the GPS position onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MapMatchingConfig
+from repro.core.places import LineOfInterest
+from repro.core.points import SpatioTemporalPoint
+from repro.geometry.distance import (
+    closest_point_on_segment,
+    perpendicular_distance,
+    point_segment_distance,
+)
+from repro.geometry.kernels import gaussian_kernel_weight
+from repro.geometry.primitives import Point
+from repro.lines.road_network import RoadNetwork
+
+
+@dataclass(frozen=True)
+class MatchedPoint:
+    """Result of matching one GPS point.
+
+    Attributes
+    ----------
+    point:
+        The original GPS fix.
+    segment:
+        The matched road segment, or None when no candidate was within reach.
+    score:
+        The winning global score (0 when unmatched).
+    snapped:
+        The corrected position on the matched segment (Algorithm 2 line 17),
+        or the original position when unmatched.
+    """
+
+    point: SpatioTemporalPoint
+    segment: Optional[LineOfInterest]
+    score: float
+    snapped: Point
+
+    @property
+    def is_matched(self) -> bool:
+        """True when a road segment was found for this point."""
+        return self.segment is not None
+
+    @property
+    def segment_id(self) -> Optional[str]:
+        """Identifier of the matched segment, or None."""
+        return self.segment.place_id if self.segment is not None else None
+
+
+class GlobalMapMatcher:
+    """The global map-matching algorithm of Section 4.2."""
+
+    def __init__(self, network: RoadNetwork, config: MapMatchingConfig = MapMatchingConfig()):
+        self._network = network
+        self._config = config
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The underlying road network."""
+        return self._network
+
+    @property
+    def config(self) -> MapMatchingConfig:
+        """The active map-matching configuration."""
+        return self._config
+
+    # -------------------------------------------------------------- matching
+    def match(self, points: Sequence[SpatioTemporalPoint]) -> List[MatchedPoint]:
+        """Match every GPS point of a move episode to a road segment."""
+        if not points:
+            return []
+        local_scores = [self._local_scores(point) for point in points]
+        matched: List[MatchedPoint] = []
+        for index, point in enumerate(points):
+            candidates = local_scores[index]
+            if not candidates:
+                matched.append(
+                    MatchedPoint(point=point, segment=None, score=0.0, snapped=point.position)
+                )
+                continue
+            if self._config.use_global_score:
+                scores = self._global_scores(points, local_scores, index)
+            else:
+                scores = {seg_id: score for seg_id, (score, _) in candidates.items()}
+            best_id = max(scores.items(), key=lambda pair: (pair[1], pair[0]))[0]
+            best_segment = candidates[best_id][1]
+            snapped = closest_point_on_segment(point.position, best_segment.segment)
+            matched.append(
+                MatchedPoint(
+                    point=point,
+                    segment=best_segment,
+                    score=scores[best_id],
+                    snapped=snapped,
+                )
+            )
+        return matched
+
+    def matched_segment_sequence(self, points: Sequence[SpatioTemporalPoint]) -> List[str]:
+        """De-duplicated sequence of matched segment ids (Algorithm 2 output)."""
+        sequence: List[str] = []
+        for matched in self.match(points):
+            if matched.segment_id is None:
+                continue
+            if not sequence or sequence[-1] != matched.segment_id:
+                sequence.append(matched.segment_id)
+        return sequence
+
+    # -------------------------------------------------------------- internals
+    def _distance(self, point: Point, segment: LineOfInterest) -> float:
+        if self._config.distance_metric == "perpendicular":
+            return perpendicular_distance(point, segment.segment)
+        return point_segment_distance(point, segment.segment)
+
+    def _local_scores(
+        self, point: SpatioTemporalPoint
+    ) -> Dict[str, Tuple[float, LineOfInterest]]:
+        """Equation 2: localScore of every candidate segment of ``point``."""
+        candidates = self._network.candidate_segments(
+            point.position,
+            radius=self._config.candidate_radius,
+            max_candidates=self._config.max_candidates,
+        )
+        if not candidates:
+            return {}
+        distances = {
+            segment.place_id: (self._distance(point.position, segment), segment)
+            for _, segment in candidates
+        }
+        d_min = min(distance for distance, _ in distances.values())
+        scores: Dict[str, Tuple[float, LineOfInterest]] = {}
+        for segment_id, (distance, segment) in distances.items():
+            if distance <= 0.0:
+                score = 1.0
+            elif d_min <= 0.0:
+                score = 0.0
+            else:
+                score = d_min / distance
+            scores[segment_id] = (score, segment)
+        return scores
+
+    def _global_scores(
+        self,
+        points: Sequence[SpatioTemporalPoint],
+        local_scores: Sequence[Dict[str, Tuple[float, LineOfInterest]]],
+        index: int,
+    ) -> Dict[str, float]:
+        """Equations 3-4: kernel-weighted global score of each candidate of point ``index``."""
+        center = points[index].position
+        radius = self._config.context_radius
+        sigma = self._config.kernel_width
+        candidate_ids = list(local_scores[index].keys())
+
+        weighted_sum: Dict[str, float] = {segment_id: 0.0 for segment_id in candidate_ids}
+        weight_total = 0.0
+
+        # Walk the neighbours inside the context window in both directions.
+        for neighbor_index in self._window_indices(points, index, radius):
+            neighbor = points[neighbor_index]
+            weight = gaussian_kernel_weight(
+                center.distance_to(neighbor.position), bandwidth=sigma, radius=radius
+            )
+            if weight <= 0.0:
+                continue
+            weight_total += weight
+            neighbor_scores = local_scores[neighbor_index]
+            for segment_id in candidate_ids:
+                if segment_id in neighbor_scores:
+                    weighted_sum[segment_id] += weight * neighbor_scores[segment_id][0]
+
+        if weight_total <= 0.0:
+            return {segment_id: score for segment_id, (score, _) in local_scores[index].items()}
+        return {segment_id: total / weight_total for segment_id, total in weighted_sum.items()}
+
+    def _window_indices(
+        self, points: Sequence[SpatioTemporalPoint], index: int, radius: float
+    ) -> List[int]:
+        """Indices of points within ``radius`` of point ``index`` (the 2R window).
+
+        Walks backwards and forwards from the centre and stops as soon as a
+        point leaves the view radius, mirroring the N1-before/N2-after window
+        of the paper.
+        """
+        center = points[index].position
+        window = [index]
+        cursor = index - 1
+        while cursor >= 0 and center.distance_to(points[cursor].position) < radius:
+            window.append(cursor)
+            cursor -= 1
+        cursor = index + 1
+        while cursor < len(points) and center.distance_to(points[cursor].position) < radius:
+            window.append(cursor)
+            cursor += 1
+        return sorted(window)
+
+
+def matching_accuracy(
+    matched_ids: Sequence[Optional[str]], truth_ids: Sequence[Optional[str]]
+) -> float:
+    """Fraction of points matched to the ground-truth segment.
+
+    Points without a ground-truth segment (off-network) are skipped; the
+    metric is the one plotted in Figure 10.
+    """
+    if len(matched_ids) != len(truth_ids):
+        raise ValueError("matched and truth sequences must have the same length")
+    considered = 0
+    correct = 0
+    for matched, truth in zip(matched_ids, truth_ids):
+        if truth is None:
+            continue
+        considered += 1
+        if matched == truth:
+            correct += 1
+    if considered == 0:
+        return 0.0
+    return correct / considered

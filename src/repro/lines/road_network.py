@@ -1,0 +1,185 @@
+"""Road network model: indexed road segments with connectivity.
+
+A road network is a collection of :class:`~repro.core.places.LineOfInterest`
+segments indexed by an R-tree (for candidate selection in Algorithm 2) plus an
+adjacency structure over segment endpoints (used by the incremental and
+Viterbi baseline matchers, which prefer topologically connected candidates).
+
+Road types carry the information the transportation-mode inference needs: a
+``metro_line`` only serves metro trips, a ``path_way`` only walking and
+cycling, a plain ``road`` serves walking, cycling, bus and car travel.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import SourceError
+from repro.core.places import LineOfInterest
+from repro.geometry.distance import point_segment_distance
+from repro.geometry.primitives import BoundingBox, Point, Segment
+from repro.index.rtree import RTree, RTreeEntry
+
+#: Default permissions and speed limits per road type.
+ROAD_TYPE_PROFILES: Dict[str, Dict[str, object]] = {
+    "road": {"allowed_modes": ("walk", "bicycle", "bus", "car"), "speed_limit": 13.9},
+    "highway": {"allowed_modes": ("car", "bus"), "speed_limit": 33.3},
+    "path_way": {"allowed_modes": ("walk", "bicycle"), "speed_limit": 4.0},
+    "metro_line": {"allowed_modes": ("metro",), "speed_limit": 22.0},
+    "rail": {"allowed_modes": ("train",), "speed_limit": 44.0},
+}
+
+
+def make_road_segment(
+    place_id: str,
+    name: str,
+    start: Point,
+    end: Point,
+    road_type: str = "road",
+) -> LineOfInterest:
+    """Build a :class:`LineOfInterest` with the defaults of its road type."""
+    profile = ROAD_TYPE_PROFILES.get(road_type, ROAD_TYPE_PROFILES["road"])
+    return LineOfInterest(
+        place_id=place_id,
+        name=name,
+        category=road_type,
+        segment=Segment(start, end),
+        road_type=road_type,
+        allowed_modes=tuple(profile["allowed_modes"]),  # type: ignore[arg-type]
+        speed_limit=float(profile["speed_limit"]),  # type: ignore[arg-type]
+    )
+
+
+class RoadNetwork:
+    """An indexed, connected collection of road segments."""
+
+    def __init__(self, segments: Iterable[LineOfInterest], name: str = "road-network"):
+        self._segments: List[LineOfInterest] = list(segments)
+        if not self._segments:
+            raise SourceError(f"road network {name!r} contains no segments")
+        self.name = name
+        self._by_id: Dict[str, LineOfInterest] = {}
+        for segment in self._segments:
+            if segment.place_id in self._by_id:
+                raise SourceError(f"duplicate road segment id {segment.place_id!r}")
+            self._by_id[segment.place_id] = segment
+        self._index = RTree.bulk_load(
+            RTreeEntry(box=segment.bounding_box(), item=segment) for segment in self._segments
+        )
+        self._adjacency = self._build_adjacency()
+
+    # ----------------------------------------------------------- basic access
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segments(self) -> List[LineOfInterest]:
+        """All road segments."""
+        return list(self._segments)
+
+    def segment(self, place_id: str) -> LineOfInterest:
+        """Look up a segment by identifier."""
+        try:
+            return self._by_id[place_id]
+        except KeyError as error:
+            raise SourceError(f"unknown road segment {place_id!r}") from error
+
+    def bounds(self) -> BoundingBox:
+        """Bounding box of the whole network."""
+        assert self._index.bounds is not None
+        return self._index.bounds
+
+    def total_length(self) -> float:
+        """Sum of all segment lengths."""
+        return sum(segment.length for segment in self._segments)
+
+    def road_types(self) -> List[str]:
+        """Distinct road types present in the network, sorted."""
+        return sorted({segment.road_type for segment in self._segments})
+
+    # ------------------------------------------------------------- candidates
+    def candidate_segments(
+        self, point: Point, radius: float, max_candidates: Optional[int] = None
+    ) -> List[Tuple[float, LineOfInterest]]:
+        """Segments within ``radius`` of ``point`` sorted by point-segment distance.
+
+        This is the ``candidateSegs(Q)`` selection of Algorithm 2: only
+        neighbouring segments, found through the R-tree, are considered.
+        """
+        matches = self._index.within_distance(
+            point,
+            radius,
+            distance_fn=lambda q, entry: point_segment_distance(q, entry.item.segment),
+        )
+        candidates = [(distance, entry.item) for distance, entry in matches]
+        if max_candidates is not None:
+            candidates = candidates[:max_candidates]
+        return candidates
+
+    def nearest_segment(self, point: Point) -> Tuple[float, LineOfInterest]:
+        """The single nearest segment to ``point`` (exact point-segment distance)."""
+        results = self._index.nearest(
+            point,
+            count=1,
+            distance_fn=lambda q, entry: point_segment_distance(q, entry.item.segment),
+        )
+        if not results:
+            raise SourceError("road network is empty")
+        distance, entry = results[0]
+        return distance, entry.item
+
+    # ------------------------------------------------------------ connectivity
+    def _build_adjacency(self) -> Dict[str, Set[str]]:
+        """Connect segments that share an endpoint (snapped to a small grid)."""
+        def key_of(point: Point) -> Tuple[int, int]:
+            return (round(point.x * 10), round(point.y * 10))
+
+        by_endpoint: Dict[Tuple[int, int], Set[str]] = defaultdict(set)
+        for segment in self._segments:
+            by_endpoint[key_of(segment.segment.start)].add(segment.place_id)
+            by_endpoint[key_of(segment.segment.end)].add(segment.place_id)
+
+        adjacency: Dict[str, Set[str]] = defaultdict(set)
+        for connected in by_endpoint.values():
+            for a in connected:
+                for b in connected:
+                    if a != b:
+                        adjacency[a].add(b)
+        return adjacency
+
+    def neighbors(self, place_id: str) -> List[str]:
+        """Identifiers of segments sharing an endpoint with ``place_id``."""
+        self.segment(place_id)
+        return sorted(self._adjacency.get(place_id, ()))
+
+    def are_connected(self, a: str, b: str) -> bool:
+        """True when the two segments share an endpoint (or are the same segment)."""
+        if a == b:
+            return True
+        return b in self._adjacency.get(a, ())
+
+    def connectivity_distance(self, a: str, b: str, max_hops: int = 3) -> Optional[int]:
+        """Number of hops between two segments in the adjacency graph.
+
+        Returns None when ``b`` is farther than ``max_hops`` from ``a``; used by
+        the Viterbi baseline matcher to penalise topologically implausible
+        transitions.
+        """
+        if a == b:
+            return 0
+        frontier: Set[str] = {a}
+        visited: Set[str] = {a}
+        for hops in range(1, max_hops + 1):
+            next_frontier: Set[str] = set()
+            for node in frontier:
+                for neighbor in self._adjacency.get(node, ()):
+                    if neighbor == b:
+                        return hops
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        next_frontier.add(neighbor)
+            frontier = next_frontier
+            if not frontier:
+                return None
+        return None

@@ -1,0 +1,24 @@
+"""Semantic Point Annotation Layer (Section 4.3, Algorithm 3).
+
+Annotates stop episodes with the most probable POI category using a Hidden
+Markov Model whose observation probabilities are computed from the Gaussian
+influence of nearby POIs (Lemma 1), discretised on a grid for efficiency, and
+decoded with the Viterbi algorithm.
+"""
+
+from repro.points.poi import PoiSource, category_counts
+from repro.points.hmm import HiddenMarkovModel, ViterbiResult
+from repro.points.observation import PoiObservationModel
+from repro.points.annotator import PointAnnotator
+from repro.points.activity import ACTIVITY_BY_CATEGORY, trajectory_category
+
+__all__ = [
+    "PoiSource",
+    "category_counts",
+    "HiddenMarkovModel",
+    "ViterbiResult",
+    "PoiObservationModel",
+    "PointAnnotator",
+    "ACTIVITY_BY_CATEGORY",
+    "trajectory_category",
+]

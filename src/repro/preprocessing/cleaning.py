@@ -1,0 +1,91 @@
+"""GPS cleaning: outlier removal and smoothing of random errors.
+
+The Trajectory Computation Layer first removes GPS outliers (fixes that imply
+a physically impossible speed) and smooths the remaining random error with a
+small sliding-window filter.  Both operations preserve timestamps; only the
+spatial coordinates change.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List, Sequence
+
+from repro.core.config import CleaningConfig
+from repro.core.errors import DataQualityError
+from repro.core.points import SpatioTemporalPoint
+
+
+class GpsCleaner:
+    """Removes speed outliers and smooths GPS noise.
+
+    Parameters
+    ----------
+    config:
+        Cleaning thresholds; see :class:`repro.core.config.CleaningConfig`.
+    """
+
+    def __init__(self, config: CleaningConfig = CleaningConfig()):
+        self._config = config
+
+    @property
+    def config(self) -> CleaningConfig:
+        """The active cleaning configuration."""
+        return self._config
+
+    # ------------------------------------------------------------- outliers
+    def remove_outliers(
+        self, points: Sequence[SpatioTemporalPoint]
+    ) -> List[SpatioTemporalPoint]:
+        """Drop fixes that imply a speed above ``max_speed`` from their predecessor.
+
+        The filter is greedy: it walks the stream keeping an anchor at the last
+        accepted fix, so a single wild fix is dropped without discarding the
+        valid fixes that follow it.
+        """
+        if not points:
+            return []
+        cleaned: List[SpatioTemporalPoint] = [points[0]]
+        for candidate in points[1:]:
+            anchor = cleaned[-1]
+            dt = candidate.t - anchor.t
+            if dt < 0:
+                raise DataQualityError("GPS stream timestamps must be non-decreasing")
+            if dt == 0:
+                # Duplicate timestamp: keep the first fix, drop the duplicate.
+                continue
+            speed = anchor.distance_to(candidate) / dt
+            if speed <= self._config.max_speed:
+                cleaned.append(candidate)
+        return cleaned
+
+    # ------------------------------------------------------------ smoothing
+    def smooth(self, points: Sequence[SpatioTemporalPoint]) -> List[SpatioTemporalPoint]:
+        """Smooth coordinates with a centred sliding-window filter.
+
+        The window size and method (median or mean) come from the
+        configuration; timestamps are untouched and the first/last fixes keep
+        their original position so trajectory endpoints stay anchored.
+        """
+        window = self._config.smoothing_window
+        method = self._config.smoothing_method
+        if window <= 1 or method == "none" or len(points) < 3:
+            return list(points)
+        half = window // 2
+        aggregate = statistics.median if method == "median" else statistics.fmean
+        smoothed: List[SpatioTemporalPoint] = []
+        for index, point in enumerate(points):
+            if index == 0 or index == len(points) - 1:
+                smoothed.append(point)
+                continue
+            lo = max(0, index - half)
+            hi = min(len(points), index + half + 1)
+            xs = [p.x for p in points[lo:hi]]
+            ys = [p.y for p in points[lo:hi]]
+            smoothed.append(SpatioTemporalPoint(aggregate(xs), aggregate(ys), point.t))
+        return smoothed
+
+    # ---------------------------------------------------------------- pipeline
+    def clean(self, points: Sequence[SpatioTemporalPoint]) -> List[SpatioTemporalPoint]:
+        """Full cleaning pass: outlier removal followed by smoothing."""
+        return self.smooth(self.remove_outliers(points))

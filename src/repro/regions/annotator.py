@@ -1,0 +1,184 @@
+"""Trajectory annotation with regions of interest (Algorithm 1).
+
+The annotator spatial-joins a raw trajectory (or its episodes) against a
+:class:`~repro.regions.sources.RegionSource`, groups consecutive GPS points
+falling in the same region, approximates entry/exit times and merges adjacent
+tuples that reference the same region — producing the coarse-grained
+structured semantic trajectory ``T_region`` of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.annotations import region_annotation
+from repro.core.config import RegionAnnotationConfig
+from repro.core.episodes import Episode, EpisodeKind
+from repro.core.places import RegionOfInterest
+from repro.core.points import RawTrajectory
+from repro.core.trajectory import SemanticEpisodeRecord, StructuredSemanticTrajectory
+from repro.regions.sources import RegionSource
+
+
+class RegionAnnotator:
+    """Implements Algorithm 1: trajectory annotation with ROIs."""
+
+    def __init__(self, source: RegionSource, config: RegionAnnotationConfig = RegionAnnotationConfig()):
+        self._source = source
+        self._config = config
+
+    @property
+    def source(self) -> RegionSource:
+        """The region source used for the spatial join."""
+        return self._source
+
+    @property
+    def config(self) -> RegionAnnotationConfig:
+        """The active region-annotation configuration."""
+        return self._config
+
+    # ------------------------------------------------------------ Algorithm 1
+    def annotate_trajectory(self, trajectory: RawTrajectory) -> StructuredSemanticTrajectory:
+        """Annotate every GPS record of ``trajectory`` with its region.
+
+        Consecutive points falling in the same region are grouped into a single
+        tuple ``(region, t_in, t_out)``; adjacent tuples with the same region
+        are merged, exactly as the pseudocode of Algorithm 1 does.
+        """
+        result = StructuredSemanticTrajectory(
+            trajectory_id=f"{trajectory.trajectory_id}:region",
+            object_id=trajectory.object_id,
+        )
+        current_region: Optional[RegionOfInterest] = None
+        group_start: Optional[int] = None
+
+        points = trajectory.points
+        regions: List[Optional[RegionOfInterest]] = [
+            self._source.first_region_containing(point.position) for point in points
+        ]
+
+        for index in range(len(points) + 1):
+            region = regions[index] if index < len(points) else None
+            boundary = index == len(points)
+            same_group = (
+                not boundary
+                and group_start is not None
+                and _same_region(current_region, region)
+            )
+            if same_group:
+                continue
+            if group_start is not None:
+                record = SemanticEpisodeRecord(
+                    place=current_region,
+                    time_in=points[group_start].t,
+                    time_out=points[index - 1].t,
+                    kind=EpisodeKind.MOVE,
+                    annotations=(
+                        [region_annotation(current_region)] if current_region is not None else []
+                    ),
+                )
+                result.append(record)
+            if boundary:
+                break
+            current_region = region
+            group_start = index
+
+        return result.merged()
+
+    def annotate_episodes(self, episodes: Sequence[Episode]) -> StructuredSemanticTrajectory:
+        """Annotate episodes (instead of every GPS record) with regions.
+
+        Stops are joined by their centre point (when configured) and moves by
+        the region containing each point, keeping the dominant region; this is
+        the "spatial join computed only for selected episodes" variant the
+        paper mentions.
+        """
+        if not episodes:
+            raise ValueError("annotate_episodes requires at least one episode")
+        trajectory = episodes[0].trajectory
+        result = StructuredSemanticTrajectory(
+            trajectory_id=f"{trajectory.trajectory_id}:region-episodes",
+            object_id=trajectory.object_id,
+        )
+        for episode in sorted(episodes, key=lambda ep: ep.start_index):
+            region = self._region_for_episode(episode)
+            annotations = [region_annotation(region)] if region is not None else []
+            record = SemanticEpisodeRecord(
+                place=region,
+                time_in=episode.time_in,
+                time_out=episode.time_out,
+                kind=episode.kind,
+                annotations=annotations,
+                source_episode=episode,
+            )
+            if region is not None:
+                episode.add_annotation(region_annotation(region))
+            result.append(record)
+        return result
+
+    def _region_for_episode(self, episode: Episode) -> Optional[RegionOfInterest]:
+        if episode.is_stop and self._config.use_episode_center_for_stops:
+            return self._source.first_region_containing(episode.center())
+        if self._config.join_predicate == "intersects":
+            candidates = self._source.regions_intersecting(episode.bounding_box())
+            if not candidates:
+                return None
+            return self._dominant_region(episode, candidates)
+        return self._dominant_region(episode, None)
+
+    def _dominant_region(
+        self, episode: Episode, candidates: Optional[List[RegionOfInterest]]
+    ) -> Optional[RegionOfInterest]:
+        """The region covering the most GPS points of the episode."""
+        counts: Dict[str, int] = {}
+        by_id: Dict[str, RegionOfInterest] = {}
+        for point in episode.points:
+            if candidates is None:
+                region = self._source.first_region_containing(point.position)
+            else:
+                region = next(
+                    (candidate for candidate in candidates if candidate.contains(point.position)),
+                    None,
+                )
+            if region is None:
+                continue
+            counts[region.place_id] = counts.get(region.place_id, 0) + 1
+            by_id[region.place_id] = region
+        if not counts:
+            return None
+        best_id = max(counts.items(), key=lambda pair: (pair[1], pair[0]))[0]
+        return by_id[best_id]
+
+    # --------------------------------------------------------------- metrics
+    def point_category_distribution(self, trajectories: Sequence[RawTrajectory]) -> Dict[str, int]:
+        """Number of GPS points per region category across ``trajectories``.
+
+        This is the per-point distribution plotted in Figure 9 (the
+        "trajectory" column) and Figure 14.
+        """
+        counts: Dict[str, int] = {}
+        for trajectory in trajectories:
+            for point in trajectory:
+                region = self._source.first_region_containing(point.position)
+                if region is None:
+                    continue
+                counts[region.category] = counts.get(region.category, 0) + 1
+        return counts
+
+    def episode_category_distribution(self, episodes: Sequence[Episode]) -> Dict[str, int]:
+        """Number of episodes per region category (Figure 9 move/stop columns)."""
+        counts: Dict[str, int] = {}
+        for episode in episodes:
+            region = self._region_for_episode(episode)
+            if region is None:
+                continue
+            counts[region.category] = counts.get(region.category, 0) + 1
+        return counts
+
+
+def _same_region(a: Optional[RegionOfInterest], b: Optional[RegionOfInterest]) -> bool:
+    if a is None and b is None:
+        return True
+    if a is None or b is None:
+        return False
+    return a.place_id == b.place_id

@@ -1,0 +1,82 @@
+"""Region sources: indexed collections of regions of interest.
+
+A :class:`RegionSource` wraps a set of :class:`~repro.core.places.RegionOfInterest`
+objects behind an R-tree so the spatial join of Algorithm 1 only examines the
+regions whose bounding box is near a query point or rectangle.  This plays the
+role of the PostGIS tables + R*-tree index of the paper's implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.errors import SourceError
+from repro.core.places import RegionOfInterest
+from repro.geometry.predicates import polygon_intersects_bbox
+from repro.geometry.primitives import BoundingBox, Point, Polygon
+from repro.index.rtree import RTree, RTreeEntry
+
+
+class RegionSource:
+    """An indexed third-party source of regions of interest."""
+
+    def __init__(self, regions: Iterable[RegionOfInterest], name: str = "regions"):
+        self._regions: List[RegionOfInterest] = list(regions)
+        if not self._regions:
+            raise SourceError(f"region source {name!r} contains no regions")
+        self.name = name
+        self._index = RTree.bulk_load(
+            RTreeEntry(box=region.bounding_box(), item=region) for region in self._regions
+        )
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    @property
+    def regions(self) -> List[RegionOfInterest]:
+        """All regions in the source."""
+        return list(self._regions)
+
+    def regions_containing(self, point: Point) -> List[RegionOfInterest]:
+        """Regions whose extent contains ``point`` (exact test after index filter)."""
+        candidates = self._index.query_point(point)
+        return [entry.item for entry in candidates if entry.item.contains(point)]
+
+    def regions_intersecting(self, box: BoundingBox) -> List[RegionOfInterest]:
+        """Regions whose extent intersects the query rectangle."""
+        results: List[RegionOfInterest] = []
+        for entry in self._index.search(box):
+            region = entry.item
+            extent = region.extent
+            if isinstance(extent, BoundingBox):
+                if extent.intersects(box):
+                    results.append(region)
+            elif isinstance(extent, Polygon):
+                if polygon_intersects_bbox(extent, box):
+                    results.append(region)
+        return results
+
+    def first_region_containing(self, point: Point) -> Optional[RegionOfInterest]:
+        """Smallest region containing ``point`` (ties broken by identifier).
+
+        Overlapping region sources (a campus polygon on top of landuse cells)
+        are resolved by preferring the most specific — smallest — region, which
+        is how the paper's example annotates a stop with "EPFL campus" rather
+        than the enclosing landuse cell.
+        """
+        matches = self.regions_containing(point)
+        if not matches:
+            return None
+        return min(matches, key=lambda region: (region.area, region.place_id))
+
+    def categories(self) -> List[str]:
+        """Distinct categories appearing in the source, sorted."""
+        return sorted({region.category for region in self._regions})
+
+
+def merge_sources(sources: Sequence[RegionSource], name: str = "merged") -> RegionSource:
+    """Concatenate several region sources into one indexed source."""
+    regions: List[RegionOfInterest] = []
+    for source in sources:
+        regions.extend(source.regions)
+    return RegionSource(regions, name=name)

@@ -1,0 +1,12 @@
+"""Semantic Trajectory Store.
+
+A SQLite-backed store mirroring the paper's PostGIS tables: GPS records,
+trajectories, episodes (stops/moves) and annotations.  The store is what the
+latency benchmark (Figure 17) measures when it reports "store episode" and
+"store match result" times.
+"""
+
+from repro.store.schema import SCHEMA_STATEMENTS
+from repro.store.store import SemanticTrajectoryStore
+
+__all__ = ["SCHEMA_STATEMENTS", "SemanticTrajectoryStore"]

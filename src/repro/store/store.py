@@ -1,0 +1,230 @@
+"""SQLite-backed semantic trajectory store.
+
+The store persists raw trajectories, episodes and their annotations, and
+exposes the query helpers the analytics layer and the latency benchmark need.
+It accepts ``":memory:"`` (the default) for tests and benchmarks or a file
+path for durable storage.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.annotations import Annotation, GeographicReferenceAnnotation, ValueAnnotation
+from repro.core.episodes import Episode, EpisodeKind
+from repro.core.errors import StoreError
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.store.schema import SCHEMA_STATEMENTS
+
+
+class SemanticTrajectoryStore:
+    """Persists trajectories, episodes and annotations in SQLite."""
+
+    def __init__(self, path: str = ":memory:"):
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA foreign_keys = ON")
+        for statement in SCHEMA_STATEMENTS:
+            self._connection.execute(statement)
+        self._connection.commit()
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "SemanticTrajectoryStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ writes
+    def save_trajectory(self, trajectory: RawTrajectory, store_points: bool = True) -> None:
+        """Persist a raw trajectory (and optionally all of its GPS records)."""
+        cursor = self._connection.cursor()
+        try:
+            cursor.execute(
+                "INSERT INTO trajectories (trajectory_id, object_id, start_time, end_time, "
+                "point_count, path_length) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    trajectory.trajectory_id,
+                    trajectory.object_id,
+                    trajectory.start_time,
+                    trajectory.end_time,
+                    len(trajectory),
+                    trajectory.length(),
+                ),
+            )
+        except sqlite3.IntegrityError as error:
+            raise StoreError(
+                f"trajectory {trajectory.trajectory_id!r} is already stored"
+            ) from error
+        if store_points:
+            cursor.executemany(
+                "INSERT INTO gps_records (trajectory_id, seq, x, y, t) VALUES (?, ?, ?, ?, ?)",
+                (
+                    (trajectory.trajectory_id, index, point.x, point.y, point.t)
+                    for index, point in enumerate(trajectory)
+                ),
+            )
+        self._connection.commit()
+
+    def save_episode(self, episode: Episode) -> int:
+        """Persist one episode; returns its store identifier."""
+        center = episode.center()
+        cursor = self._connection.execute(
+            "INSERT INTO episodes (trajectory_id, kind, start_index, end_index, time_in, "
+            "time_out, center_x, center_y) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                episode.trajectory.trajectory_id,
+                episode.kind.value,
+                episode.start_index,
+                episode.end_index,
+                episode.time_in,
+                episode.time_out,
+                center.x,
+                center.y,
+            ),
+        )
+        episode_id = int(cursor.lastrowid)
+        if episode.annotations:
+            self.save_annotations(episode_id, episode.annotations)
+        self._connection.commit()
+        return episode_id
+
+    def save_episodes(self, episodes: Iterable[Episode]) -> List[int]:
+        """Persist several episodes; returns their store identifiers."""
+        return [self.save_episode(episode) for episode in episodes]
+
+    def save_annotations(self, episode_id: int, annotations: Sequence[Annotation]) -> None:
+        """Persist annotations for an already-stored episode."""
+        rows: List[Tuple] = []
+        for annotation in annotations:
+            place_id = None
+            category = None
+            label = None
+            value = None
+            if isinstance(annotation, GeographicReferenceAnnotation):
+                place_id = annotation.place_id
+                category = annotation.category
+            elif isinstance(annotation, ValueAnnotation):
+                label = annotation.label
+                value = str(annotation.value)
+            rows.append(
+                (
+                    episode_id,
+                    annotation.kind.value,
+                    place_id,
+                    category,
+                    label,
+                    value,
+                    annotation.confidence,
+                )
+            )
+        self._connection.executemany(
+            "INSERT INTO annotations (episode_id, kind, place_id, category, label, value, "
+            "confidence) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._connection.commit()
+
+    # ------------------------------------------------------------------- reads
+    def trajectory_count(self) -> int:
+        """Number of stored trajectories."""
+        return self._scalar("SELECT COUNT(*) FROM trajectories")
+
+    def gps_record_count(self) -> int:
+        """Number of stored GPS records."""
+        return self._scalar("SELECT COUNT(*) FROM gps_records")
+
+    def episode_count(self, kind: Optional[EpisodeKind] = None) -> int:
+        """Number of stored episodes, optionally filtered by kind."""
+        if kind is None:
+            return self._scalar("SELECT COUNT(*) FROM episodes")
+        return self._scalar("SELECT COUNT(*) FROM episodes WHERE kind = ?", (kind.value,))
+
+    def annotation_count(self) -> int:
+        """Number of stored annotations."""
+        return self._scalar("SELECT COUNT(*) FROM annotations")
+
+    def load_trajectory(self, trajectory_id: str) -> RawTrajectory:
+        """Reconstruct a raw trajectory from its stored GPS records."""
+        meta = self._connection.execute(
+            "SELECT object_id FROM trajectories WHERE trajectory_id = ?", (trajectory_id,)
+        ).fetchone()
+        if meta is None:
+            raise StoreError(f"unknown trajectory {trajectory_id!r}")
+        rows = self._connection.execute(
+            "SELECT x, y, t FROM gps_records WHERE trajectory_id = ? ORDER BY seq",
+            (trajectory_id,),
+        ).fetchall()
+        if not rows:
+            raise StoreError(f"trajectory {trajectory_id!r} was stored without GPS records")
+        points = [SpatioTemporalPoint(x, y, t) for x, y, t in rows]
+        return RawTrajectory(points, object_id=meta[0], trajectory_id=trajectory_id)
+
+    def trajectory_ids(self) -> List[str]:
+        """Identifiers of all stored trajectories."""
+        rows = self._connection.execute(
+            "SELECT trajectory_id FROM trajectories ORDER BY trajectory_id"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def episodes_for(self, trajectory_id: str) -> List[Dict[str, object]]:
+        """Episode rows (as dictionaries) for one trajectory, in time order."""
+        rows = self._connection.execute(
+            "SELECT episode_id, kind, start_index, end_index, time_in, time_out, center_x, "
+            "center_y FROM episodes WHERE trajectory_id = ? ORDER BY time_in",
+            (trajectory_id,),
+        ).fetchall()
+        keys = (
+            "episode_id",
+            "kind",
+            "start_index",
+            "end_index",
+            "time_in",
+            "time_out",
+            "center_x",
+            "center_y",
+        )
+        return [dict(zip(keys, row)) for row in rows]
+
+    def annotations_for(self, episode_id: int) -> List[Dict[str, object]]:
+        """Annotation rows (as dictionaries) for one stored episode."""
+        rows = self._connection.execute(
+            "SELECT kind, place_id, category, label, value, confidence FROM annotations "
+            "WHERE episode_id = ? ORDER BY annotation_id",
+            (episode_id,),
+        ).fetchall()
+        keys = ("kind", "place_id", "category", "label", "value", "confidence")
+        return [dict(zip(keys, row)) for row in rows]
+
+    def category_histogram(self, annotation_kind: Optional[str] = None) -> Dict[str, int]:
+        """Number of annotations per category, optionally filtered by annotation kind."""
+        if annotation_kind is None:
+            rows = self._connection.execute(
+                "SELECT category, COUNT(*) FROM annotations WHERE category IS NOT NULL "
+                "GROUP BY category"
+            ).fetchall()
+        else:
+            rows = self._connection.execute(
+                "SELECT category, COUNT(*) FROM annotations WHERE category IS NOT NULL "
+                "AND kind = ? GROUP BY category",
+                (annotation_kind,),
+            ).fetchall()
+        return {row[0]: row[1] for row in rows}
+
+    def stop_move_summary(self) -> Dict[str, int]:
+        """Counts of stored trajectories, GPS records, stops and moves."""
+        return {
+            "trajectories": self.trajectory_count(),
+            "gps_records": self.gps_record_count(),
+            "stops": self.episode_count(EpisodeKind.STOP),
+            "moves": self.episode_count(EpisodeKind.MOVE),
+        }
+
+    # --------------------------------------------------------------- internals
+    def _scalar(self, query: str, params: Tuple = ()) -> int:
+        row = self._connection.execute(query, params).fetchone()
+        return int(row[0]) if row and row[0] is not None else 0

@@ -1,0 +1,82 @@
+"""Unit tests for annotations (Definition 3 annotation kinds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.annotations import (
+    Annotation,
+    AnnotationKind,
+    GeographicReferenceAnnotation,
+    ValueAnnotation,
+    activity_annotation,
+    line_annotation,
+    poi_annotation,
+    region_annotation,
+    transport_mode_annotation,
+)
+from repro.core.places import PointOfInterest, RegionOfInterest
+from repro.geometry.primitives import BoundingBox, Point
+
+
+@pytest.fixture()
+def sample_region() -> RegionOfInterest:
+    return RegionOfInterest(
+        place_id="cell-1", name="cell", category="1.2", extent=BoundingBox(0, 0, 100, 100)
+    )
+
+
+@pytest.fixture()
+def sample_poi() -> PointOfInterest:
+    return PointOfInterest(place_id="poi-1", name="cafe", category="feedings", location=Point(1, 1))
+
+
+class TestAnnotationBasics:
+    def test_confidence_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            Annotation(kind=AnnotationKind.VALUE, confidence=1.5)
+        with pytest.raises(ValueError):
+            Annotation(kind=AnnotationKind.VALUE, confidence=-0.1)
+
+    def test_geographic_annotation_requires_place(self):
+        with pytest.raises(ValueError):
+            GeographicReferenceAnnotation(kind=AnnotationKind.REGION)
+
+    def test_value_annotation_requires_label(self):
+        with pytest.raises(ValueError):
+            ValueAnnotation(kind=AnnotationKind.VALUE, label="")
+
+
+class TestFactories:
+    def test_region_annotation(self, sample_region):
+        annotation = region_annotation(sample_region, confidence=0.9, source="landuse")
+        assert annotation.kind is AnnotationKind.REGION
+        assert annotation.place_id == "cell-1"
+        assert annotation.category == "1.2"
+        assert annotation.confidence == 0.9
+        assert annotation.details["source"] == "landuse"
+
+    def test_line_annotation(self, sample_region):
+        annotation = line_annotation(sample_region)
+        assert annotation.kind is AnnotationKind.LINE
+
+    def test_poi_annotation(self, sample_poi):
+        annotation = poi_annotation(sample_poi)
+        assert annotation.kind is AnnotationKind.POINT
+        assert annotation.category == "feedings"
+
+    def test_transport_mode_annotation(self):
+        annotation = transport_mode_annotation("metro", confidence=0.8)
+        assert annotation.kind is AnnotationKind.TRANSPORT_MODE
+        assert annotation.label == "transport_mode"
+        assert annotation.value == "metro"
+
+    def test_activity_annotation(self):
+        annotation = activity_annotation("shopping")
+        assert annotation.kind is AnnotationKind.ACTIVITY
+        assert annotation.value == "shopping"
+
+    def test_annotations_are_immutable(self, sample_poi):
+        annotation = poi_annotation(sample_poi)
+        with pytest.raises(AttributeError):
+            annotation.confidence = 0.1  # type: ignore[misc]

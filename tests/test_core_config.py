@@ -1,0 +1,124 @@
+"""Unit tests for configuration objects and their validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    CleaningConfig,
+    MapMatchingConfig,
+    PipelineConfig,
+    PointAnnotationConfig,
+    RegionAnnotationConfig,
+    StopMoveConfig,
+    TrajectoryIdentificationConfig,
+    TransportModeConfig,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestCleaningConfig:
+    def test_defaults_are_valid(self):
+        config = CleaningConfig()
+        assert config.max_speed > 0
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            CleaningConfig(max_speed=0)
+        with pytest.raises(ConfigurationError):
+            CleaningConfig(smoothing_window=0)
+        with pytest.raises(ConfigurationError):
+            CleaningConfig(smoothing_method="spline")
+
+
+class TestIdentificationConfig:
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            TrajectoryIdentificationConfig(max_time_gap=0)
+        with pytest.raises(ConfigurationError):
+            TrajectoryIdentificationConfig(min_points=0)
+
+
+class TestStopMoveConfig:
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            StopMoveConfig(policy="magic")
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            StopMoveConfig(speed_threshold=0)
+        with pytest.raises(ConfigurationError):
+            StopMoveConfig(min_stop_duration=-1)
+        with pytest.raises(ConfigurationError):
+            StopMoveConfig(density_radius=0)
+        with pytest.raises(ConfigurationError):
+            StopMoveConfig(min_move_points=0)
+
+
+class TestRegionConfig:
+    def test_unknown_predicate(self):
+        with pytest.raises(ConfigurationError):
+            RegionAnnotationConfig(join_predicate="touches")
+
+
+class TestMapMatchingConfig:
+    def test_derived_radii(self):
+        config = MapMatchingConfig(view_radius=2.0, kernel_width_factor=0.5, candidate_radius=50.0)
+        assert config.context_radius == pytest.approx(100.0)
+        assert config.kernel_width == pytest.approx(50.0)
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            MapMatchingConfig(view_radius=0)
+        with pytest.raises(ConfigurationError):
+            MapMatchingConfig(kernel_width_factor=0)
+        with pytest.raises(ConfigurationError):
+            MapMatchingConfig(candidate_radius=0)
+        with pytest.raises(ConfigurationError):
+            MapMatchingConfig(max_candidates=0)
+        with pytest.raises(ConfigurationError):
+            MapMatchingConfig(distance_metric="manhattan")
+
+
+class TestTransportConfig:
+    def test_thresholds_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            TransportModeConfig(walk_speed_max=8.0, bicycle_speed_max=7.0)
+        with pytest.raises(ConfigurationError):
+            TransportModeConfig(bus_acceleration_min=-1)
+
+
+class TestPointConfig:
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            PointAnnotationConfig(grid_cell_size=0)
+        with pytest.raises(ConfigurationError):
+            PointAnnotationConfig(neighbor_radius=0)
+        with pytest.raises(ConfigurationError):
+            PointAnnotationConfig(default_sigma=0)
+        with pytest.raises(ConfigurationError):
+            PointAnnotationConfig(self_transition=1.0)
+        with pytest.raises(ConfigurationError):
+            PointAnnotationConfig(min_probability=0)
+
+
+class TestPipelineConfig:
+    def test_default_bundle(self):
+        config = PipelineConfig()
+        assert config.stop_move.policy == "velocity"
+
+    def test_vehicle_profile(self):
+        config = PipelineConfig.for_vehicles()
+        assert config.stop_move.policy == "hybrid"
+        assert config.map_matching.candidate_radius == pytest.approx(40.0)
+
+    def test_people_profile(self):
+        config = PipelineConfig.for_people()
+        assert config.cleaning.max_speed < CleaningConfig().max_speed
+        assert config.identification.max_time_gap == pytest.approx(3600.0)
+        assert config.stop_move.policy == "hybrid"
+
+    def test_configs_are_immutable(self):
+        config = PipelineConfig()
+        with pytest.raises(AttributeError):
+            config.stop_move = StopMoveConfig()  # type: ignore[misc]

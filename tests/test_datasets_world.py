@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic world generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.world import MILAN_POI_MIX, SyntheticWorld, WorldConfig
+from repro.geometry.primitives import Point
+from repro.regions.landuse import LANDUSE_CATEGORIES
+
+
+class TestWorldConfig:
+    def test_derived_bounds(self):
+        config = WorldConfig(size=8000)
+        assert config.core_min == 2000
+        assert config.core_max == 6000
+        assert config.commercial_center == Point(4000, 4000)
+
+
+class TestLanduse:
+    def test_every_cell_has_a_valid_category(self, world):
+        regions = world.landuse_regions()
+        for region in regions[::97]:
+            assert region.category in LANDUSE_CATEGORIES
+
+    def test_commercial_center_category(self, world):
+        assert world.landuse_category_at(world.config.commercial_center) == "1.1"
+
+    def test_lake_in_south_east_corner(self, world):
+        size = world.config.size
+        assert world.landuse_category_at(Point(size * 0.95, size * 0.1)) == "4.13"
+
+    def test_forest_in_north(self, world):
+        size = world.config.size
+        category = world.landuse_category_at(Point(size * 0.5, size * 0.95))
+        assert category in ("3.10", "3.11")
+
+    def test_urban_core_is_mostly_urban(self, world):
+        size = world.config.size
+        urban = 0
+        total = 0
+        for i in range(20):
+            for j in range(20):
+                x = world.config.core_min + (world.config.core_max - world.config.core_min) * i / 19
+                y = world.config.core_min + (world.config.core_max - world.config.core_min) * j / 19
+                category = world.landuse_category_at(Point(x, y))
+                total += 1
+                if category.startswith("1."):
+                    urban += 1
+        assert urban / total > 0.9
+
+    def test_landuse_is_deterministic(self):
+        a = SyntheticWorld(WorldConfig(size=2000, poi_count=50, seed=3))
+        b = SyntheticWorld(WorldConfig(size=2000, poi_count=50, seed=3))
+        points = [Point(x, y) for x in (100, 900, 1500) for y in (100, 900, 1500)]
+        assert [a.landuse_category_at(p) for p in points] == [
+            b.landuse_category_at(p) for p in points
+        ]
+
+    def test_region_source_cached(self, world):
+        assert world.region_source() is world.region_source()
+
+
+class TestRoadNetwork:
+    def test_network_cached(self, world):
+        assert world.road_network() is world.road_network()
+
+    def test_segment_ids_unique(self, world):
+        segments = world.road_network().segments
+        ids = [segment.place_id for segment in segments]
+        assert len(ids) == len(set(ids))
+
+    def test_contains_metro_and_paths(self, world):
+        types = set(world.road_network().road_types())
+        assert "metro_line" in types
+        assert "path_way" in types
+
+    def test_street_grid_spacing(self, world):
+        streets = [s for s in world.road_network().segments if s.road_type == "road"]
+        lengths = {round(street.length) for street in streets}
+        assert world.config.road_spacing in lengths
+
+
+class TestPois:
+    def test_poi_count_matches_config(self, world):
+        assert len(world.poi_source()) == world.config.poi_count
+
+    def test_poi_mix_close_to_milan(self, world):
+        pi = world.poi_source().initial_probabilities()
+        for category, expected in MILAN_POI_MIX.items():
+            assert pi[category] == pytest.approx(expected, abs=0.06)
+
+    def test_generate_pois_deterministic(self, world):
+        first = world.generate_pois(count=50)
+        second = world.generate_pois(count=50)
+        assert [p.location for p in first] == [p.location for p in second]
+
+    def test_generate_custom_count(self, world):
+        assert len(world.generate_pois(count=10)) == 10
+
+
+class TestSampling:
+    def test_random_home_away_from_center(self, world):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            home = world.random_home(rng)
+            assert home.distance_to(world.config.commercial_center) > world.config.size * 0.12
+            assert world.bounds.contains_point(home)
+
+    def test_random_office_near_center(self, world):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        offices = [world.random_office(rng) for _ in range(20)]
+        mean_distance = sum(
+            office.distance_to(world.config.commercial_center) for office in offices
+        ) / len(offices)
+        assert mean_distance < world.config.size * 0.15

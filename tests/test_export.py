@@ -1,0 +1,132 @@
+"""Unit tests for GeoJSON and KML export."""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.core.annotations import activity_annotation, transport_mode_annotation
+from repro.core.episodes import Episode, EpisodeKind
+from repro.core.places import PointOfInterest, RegionOfInterest
+from repro.core.points import build_trajectory
+from repro.core.trajectory import SemanticEpisodeRecord, StructuredSemanticTrajectory
+from repro.export import (
+    episodes_to_geojson,
+    raw_trajectory_to_geojson,
+    structured_trajectory_to_geojson,
+    structured_trajectory_to_kml,
+    trajectories_to_kml,
+)
+from repro.geometry.primitives import BoundingBox, Point
+
+
+@pytest.fixture()
+def trajectory():
+    return build_trajectory(
+        [(float(i * 10), float(i), float(i * 5)) for i in range(10)],
+        object_id="u1",
+        trajectory_id="traj",
+    )
+
+
+@pytest.fixture()
+def structured(trajectory):
+    region = RegionOfInterest(
+        place_id="cell", name="cell", category="1.2", extent=BoundingBox(0, 0, 100, 100)
+    )
+    poi = PointOfInterest(place_id="cafe", name="cafe", category="feedings", location=Point(50, 5))
+    episode = Episode(EpisodeKind.STOP, trajectory, 0, 3)
+    return StructuredSemanticTrajectory(
+        "traj:semantic",
+        "u1",
+        records=[
+            SemanticEpisodeRecord(
+                region, 0, 100, EpisodeKind.MOVE, [transport_mode_annotation("bus")]
+            ),
+            SemanticEpisodeRecord(
+                poi, 100, 200, EpisodeKind.STOP, [activity_annotation("eating")]
+            ),
+            SemanticEpisodeRecord(None, 200, 300, EpisodeKind.MOVE, source_episode=episode),
+        ],
+    )
+
+
+class TestGeoJson:
+    def test_raw_trajectory_round_trips_through_json(self, trajectory):
+        document = raw_trajectory_to_geojson(trajectory)
+        parsed = json.loads(json.dumps(document))
+        assert parsed["type"] == "FeatureCollection"
+        feature = parsed["features"][0]
+        assert feature["geometry"]["type"] == "LineString"
+        assert len(feature["geometry"]["coordinates"]) == 10
+        assert feature["properties"]["trajectory_id"] == "traj"
+
+    def test_episodes_export_stop_as_point_and_move_as_linestring(self, trajectory):
+        stop = Episode(EpisodeKind.STOP, trajectory, 0, 3)
+        stop.add_annotation(activity_annotation("rest"))
+        move = Episode(EpisodeKind.MOVE, trajectory, 3, 10)
+        move.add_annotation(transport_mode_annotation("walk"))
+        document = episodes_to_geojson([stop, move])
+        types = [feature["geometry"]["type"] for feature in document["features"]]
+        assert types == ["Point", "LineString"]
+        properties = [feature["properties"] for feature in document["features"]]
+        assert properties[0]["activity"] == "rest"
+        assert properties[1]["transport_mode"] == "walk"
+
+    def test_structured_trajectory_features(self, structured):
+        document = structured_trajectory_to_geojson(structured)
+        assert document["properties"]["record_count"] == 3
+        features = document["features"]
+        assert len(features) == 3
+        assert features[0]["properties"]["transport_mode"] == "bus"
+        assert features[1]["properties"]["activity"] == "eating"
+        assert features[1]["properties"]["category"] == "feedings"
+        # Every emitted feature is valid JSON.
+        json.dumps(document)
+
+    def test_structured_trajectory_can_skip_unplaced(self, structured):
+        # Replace the third record's source episode with nothing so that it has
+        # neither a place nor an episode, then ask to skip such records.
+        bare = StructuredSemanticTrajectory(
+            "t", "o", records=[SemanticEpisodeRecord(None, 0, 10, EpisodeKind.MOVE)]
+        )
+        document = structured_trajectory_to_geojson(bare, include_unplaced=False)
+        assert document["features"] == []
+
+
+class TestKml:
+    def test_trajectories_to_kml_is_valid_xml(self, trajectory):
+        text = trajectories_to_kml([trajectory])
+        root = ElementTree.fromstring(text)
+        assert root.tag.endswith("kml")
+        placemarks = root.findall(".//{http://www.opengis.net/kml/2.2}Placemark")
+        assert len(placemarks) == 1
+
+    def test_structured_trajectory_kml_placemarks(self, structured):
+        text = structured_trajectory_to_kml(structured)
+        root = ElementTree.fromstring(text)
+        placemarks = root.findall(".//{http://www.opengis.net/kml/2.2}Placemark")
+        assert len(placemarks) == 3
+        descriptions = " ".join(
+            node.findtext("{http://www.opengis.net/kml/2.2}description", default="")
+            for node in placemarks
+        )
+        assert "transport mode: bus" in descriptions
+        assert "activity: eating" in descriptions
+
+    def test_kml_escapes_special_characters(self, trajectory):
+        weird = build_trajectory([(0, 0, 0), (1, 1, 1), (2, 2, 2), (3, 3, 3), (4, 4, 4)],
+                                 object_id="a&b", trajectory_id="<odd>")
+        text = trajectories_to_kml([weird])
+        ElementTree.fromstring(text)  # would raise if not escaped
+
+    def test_pipeline_output_exports(self, people_dataset, people_pipeline, annotation_sources):
+        trajectory = people_dataset.all_trajectories[0]
+        result = people_pipeline.annotate(trajectory, annotation_sources)
+        assert result.region_trajectory is not None
+        geojson_document = structured_trajectory_to_geojson(result.region_trajectory)
+        assert geojson_document["features"]
+        kml_text = structured_trajectory_to_kml(result.region_trajectory)
+        ElementTree.fromstring(kml_text)

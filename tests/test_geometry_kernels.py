@@ -1,0 +1,80 @@
+"""Unit tests for kernel weights (Equation 4) and Gaussian POI influence."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry.kernels import (
+    gaussian_2d_density,
+    gaussian_2d_mass_in_box,
+    gaussian_kernel_weight,
+    kernel_weights,
+)
+from repro.geometry.primitives import Point
+
+
+class TestKernelWeight:
+    def test_zero_distance_gives_weight_one(self):
+        assert gaussian_kernel_weight(0.0, bandwidth=10.0, radius=50.0) == pytest.approx(1.0)
+
+    def test_weight_decreases_with_distance(self):
+        near = gaussian_kernel_weight(5.0, bandwidth=10.0, radius=50.0)
+        far = gaussian_kernel_weight(20.0, bandwidth=10.0, radius=50.0)
+        assert near > far > 0.0
+
+    def test_outside_radius_is_zero(self):
+        assert gaussian_kernel_weight(51.0, bandwidth=10.0, radius=50.0) == 0.0
+        assert gaussian_kernel_weight(50.0, bandwidth=10.0, radius=50.0) == 0.0
+
+    def test_matches_equation_four(self):
+        distance, sigma = 7.0, 10.0
+        expected = math.exp(-(distance ** 2) / (2 * sigma ** 2))
+        assert gaussian_kernel_weight(distance, sigma, radius=100.0) == pytest.approx(expected)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_weight(1.0, bandwidth=0.0, radius=10.0)
+        with pytest.raises(ValueError):
+            gaussian_kernel_weight(1.0, bandwidth=1.0, radius=0.0)
+
+    def test_kernel_weights_aligned_with_neighbors(self):
+        center = Point(0, 0)
+        neighbors = [Point(0, 0), Point(0, 5), Point(0, 100)]
+        weights = kernel_weights(center, neighbors, bandwidth=10.0, radius=50.0)
+        assert len(weights) == 3
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[1] > 0.0
+        assert weights[2] == 0.0
+
+
+class TestGaussianInfluence:
+    def test_density_peaks_at_mean(self):
+        mean = Point(10, 10)
+        at_mean = gaussian_2d_density(mean, mean, sigma=5.0)
+        off_mean = gaussian_2d_density(Point(13, 14), mean, sigma=5.0)
+        assert at_mean > off_mean > 0.0
+
+    def test_density_is_isotropic(self):
+        mean = Point(0, 0)
+        d1 = gaussian_2d_density(Point(3, 0), mean, sigma=2.0)
+        d2 = gaussian_2d_density(Point(0, 3), mean, sigma=2.0)
+        assert d1 == pytest.approx(d2)
+
+    def test_density_integrates_to_one_roughly(self):
+        # Total mass inside a box 8 sigma wide should be essentially 1.
+        mean = Point(0, 0)
+        mass = gaussian_2d_mass_in_box(mean, sigma=3.0, min_x=-12, min_y=-12, max_x=12, max_y=12)
+        assert mass == pytest.approx(1.0, abs=1e-3)
+
+    def test_mass_in_half_plane_is_half(self):
+        mean = Point(0, 0)
+        mass = gaussian_2d_mass_in_box(mean, sigma=2.0, min_x=-100, min_y=-100, max_x=0, max_y=100)
+        assert mass == pytest.approx(0.5, abs=1e-3)
+
+    def test_invalid_sigma_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_2d_density(Point(0, 0), Point(0, 0), sigma=0.0)
+        with pytest.raises(ValueError):
+            gaussian_2d_mass_in_box(Point(0, 0), 0.0, 0, 0, 1, 1)

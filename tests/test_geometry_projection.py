@@ -1,0 +1,53 @@
+"""Unit tests for the local planar projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.distance import euclidean_distance, haversine_distance
+from repro.geometry.primitives import Point
+from repro.geometry.projection import LocalProjector
+
+
+class TestLocalProjector:
+    def test_reference_maps_to_origin(self):
+        projector = LocalProjector(Point(6.63, 46.52))
+        planar = projector.to_planar(Point(6.63, 46.52))
+        assert planar.x == pytest.approx(0.0)
+        assert planar.y == pytest.approx(0.0)
+
+    def test_round_trip(self):
+        projector = LocalProjector(Point(6.63, 46.52))
+        original = Point(6.67, 46.55)
+        recovered = projector.to_lonlat(projector.to_planar(original))
+        assert recovered.x == pytest.approx(original.x, abs=1e-9)
+        assert recovered.y == pytest.approx(original.y, abs=1e-9)
+
+    def test_planar_distance_close_to_haversine(self):
+        projector = LocalProjector(Point(6.63, 46.52))
+        a, b = Point(6.63, 46.52), Point(6.66, 46.54)
+        planar = euclidean_distance(projector.to_planar(a), projector.to_planar(b))
+        geodesic = haversine_distance(a, b)
+        assert planar == pytest.approx(geodesic, rel=0.01)
+
+    def test_from_points_uses_centroid(self):
+        points = [Point(6.0, 46.0), Point(8.0, 48.0)]
+        projector = LocalProjector.from_points(points)
+        assert projector.reference.x == pytest.approx(7.0)
+        assert projector.reference.y == pytest.approx(47.0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            LocalProjector.from_points([])
+
+    def test_polar_reference_rejected(self):
+        with pytest.raises(ValueError):
+            LocalProjector(Point(0.0, 90.0))
+
+    def test_project_many_and_back(self):
+        projector = LocalProjector(Point(6.63, 46.52))
+        originals = [Point(6.64, 46.53), Point(6.60, 46.50)]
+        recovered = projector.unproject_many(projector.project_many(originals))
+        for original, back in zip(originals, recovered):
+            assert back.x == pytest.approx(original.x, abs=1e-9)
+            assert back.y == pytest.approx(original.y, abs=1e-9)

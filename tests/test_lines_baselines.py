@@ -1,0 +1,122 @@
+"""Unit tests for the baseline map matchers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.points import SpatioTemporalPoint
+from repro.geometry.primitives import Point
+from repro.lines.baselines import IncrementalMatcher, NearestSegmentMatcher, ViterbiMatcher
+from repro.lines.map_matching import matching_accuracy
+from repro.lines.road_network import RoadNetwork, make_road_segment
+
+
+@pytest.fixture()
+def t_junction() -> RoadNetwork:
+    segments = [
+        make_road_segment("west", "west", Point(0, 0), Point(100, 0), "road"),
+        make_road_segment("east", "east", Point(100, 0), Point(200, 0), "road"),
+        make_road_segment("north", "north", Point(100, 0), Point(100, 100), "road"),
+        make_road_segment("island", "island", Point(500, 500), Point(600, 500), "road"),
+    ]
+    return RoadNetwork(segments, name="t-junction")
+
+
+def _straight_track(count: int = 10):
+    return [SpatioTemporalPoint(i * 20.0, 3.0, float(i)) for i in range(count)]
+
+
+class TestNearestSegmentMatcher:
+    def test_matches_nearest(self, t_junction):
+        matcher = NearestSegmentMatcher(t_junction, candidate_radius=50)
+        matched = matcher.match(_straight_track())
+        assert matched[0].segment_id == "west"
+        assert matched[-1].segment_id == "east"
+
+    def test_unmatched_far_point(self, t_junction):
+        matcher = NearestSegmentMatcher(t_junction, candidate_radius=50)
+        matched = matcher.match([SpatioTemporalPoint(0, 1000, 0)])
+        assert matched[0].segment is None
+
+    def test_scores_decrease_with_distance(self, t_junction):
+        matcher = NearestSegmentMatcher(t_junction, candidate_radius=100)
+        near = matcher.match([SpatioTemporalPoint(50, 1, 0)])[0].score
+        far = matcher.match([SpatioTemporalPoint(50, 40, 0)])[0].score
+        assert near > far
+
+
+class TestIncrementalMatcher:
+    def test_prefers_connected_candidate(self, t_junction):
+        matcher = IncrementalMatcher(t_junction, candidate_radius=120, connectivity_bonus=0.5)
+        # Points near the junction are ambiguous between east and north; after
+        # travelling along west, connectivity keeps the match on a segment that
+        # shares the junction crossing.
+        points = [
+            SpatioTemporalPoint(50, 2, 0),
+            SpatioTemporalPoint(90, 2, 1),
+            SpatioTemporalPoint(110, 2, 2),
+        ]
+        matched = matcher.match(points)
+        assert matched[0].segment_id == "west"
+        assert matched[2].segment_id in ("east", "north", "west")
+        assert matched[2].segment_id != "island"
+
+    def test_handles_gap_in_coverage(self, t_junction):
+        matcher = IncrementalMatcher(t_junction, candidate_radius=50)
+        points = [
+            SpatioTemporalPoint(50, 2, 0),
+            SpatioTemporalPoint(2000, 2000, 1),
+            SpatioTemporalPoint(150, 2, 2),
+        ]
+        matched = matcher.match(points)
+        assert matched[0].is_matched
+        assert not matched[1].is_matched
+        assert matched[2].is_matched
+
+
+class TestViterbiMatcher:
+    def test_straight_track(self, t_junction):
+        matcher = ViterbiMatcher(t_junction, candidate_radius=60)
+        matched = matcher.match(_straight_track())
+        assert matched[0].segment_id == "west"
+        assert matched[-1].segment_id == "east"
+
+    def test_empty_input(self, t_junction):
+        assert ViterbiMatcher(t_junction).match([]) == []
+
+    def test_prefers_topologically_consistent_path(self, t_junction):
+        # A noisy fix equidistant from the island road should not break the path.
+        points = _straight_track(6)
+        matcher = ViterbiMatcher(t_junction, candidate_radius=60)
+        matched = matcher.match(points)
+        assert all(m.segment_id != "island" for m in matched if m.segment_id)
+
+    def test_accuracy_on_ground_truth_drive(self, road_network, ground_truth_drive):
+        matcher = ViterbiMatcher(road_network, candidate_radius=50)
+        matched = matcher.match(ground_truth_drive.trajectory.points)
+        accuracy = matching_accuracy(
+            [m.segment_id for m in matched], ground_truth_drive.truth_segment_ids
+        )
+        assert accuracy > 0.6
+
+
+class TestBaselineComparison:
+    def test_global_matcher_at_least_as_good_as_nearest(self, road_network, ground_truth_drive):
+        from repro.core.config import MapMatchingConfig
+        from repro.lines.map_matching import GlobalMapMatcher
+
+        points = ground_truth_drive.trajectory.points
+        truth = ground_truth_drive.truth_segment_ids
+        nearest_acc = matching_accuracy(
+            [m.segment_id for m in NearestSegmentMatcher(road_network, 50).match(points)], truth
+        )
+        global_acc = matching_accuracy(
+            [
+                m.segment_id
+                for m in GlobalMapMatcher(
+                    road_network, MapMatchingConfig(candidate_radius=50)
+                ).match(points)
+            ],
+            truth,
+        )
+        assert global_acc >= nearest_acc - 0.05

@@ -1,0 +1,152 @@
+"""Unit tests for the global map-matching algorithm (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MapMatchingConfig
+from repro.core.points import SpatioTemporalPoint
+from repro.geometry.primitives import Point
+from repro.lines.map_matching import GlobalMapMatcher, matching_accuracy
+from repro.lines.road_network import RoadNetwork, make_road_segment
+
+
+@pytest.fixture()
+def parallel_roads() -> RoadNetwork:
+    """Two long parallel roads 40 m apart plus a connecting cross street."""
+    segments = [
+        make_road_segment("north", "north road", Point(0, 40), Point(400, 40), "road"),
+        make_road_segment("south", "south road", Point(0, 0), Point(400, 0), "road"),
+        make_road_segment("cross", "cross street", Point(200, 0), Point(200, 40), "road"),
+    ]
+    return RoadNetwork(segments, name="parallel")
+
+
+def _track_along(y: float, jitter: float = 0.0, count: int = 20):
+    points = []
+    for i in range(count):
+        offset = jitter if i % 2 else -jitter
+        points.append(SpatioTemporalPoint(i * 20.0, y + offset, float(i)))
+    return points
+
+
+class TestLocalScores:
+    def test_closest_segment_scores_one(self, parallel_roads):
+        matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=100))
+        scores = matcher._local_scores(SpatioTemporalPoint(100, 5, 0))
+        assert scores["south"][0] == pytest.approx(1.0)
+        assert scores["north"][0] < 1.0
+
+    def test_no_candidates_outside_radius(self, parallel_roads):
+        matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=30))
+        scores = matcher._local_scores(SpatioTemporalPoint(100, 500, 0))
+        assert scores == {}
+
+    def test_point_on_segment_scores_one(self, parallel_roads):
+        matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=100))
+        scores = matcher._local_scores(SpatioTemporalPoint(100, 0, 0))
+        assert scores["south"][0] == pytest.approx(1.0)
+
+
+class TestMatching:
+    def test_track_on_south_road_matches_south(self, parallel_roads):
+        matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=60))
+        matched = matcher.match(_track_along(2.0))
+        assert all(m.segment_id == "south" for m in matched)
+
+    def test_track_on_north_road_matches_north(self, parallel_roads):
+        matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=60))
+        matched = matcher.match(_track_along(38.0))
+        assert all(m.segment_id == "north" for m in matched)
+
+    def test_global_score_smooths_jittery_track(self, parallel_roads):
+        """A noisy track near the south road: individual fixes may be closer to
+        the north road, but the context window keeps the match on the south."""
+        points = []
+        for i in range(20):
+            # Mostly near y=5 (south), with one wild fix at y=35 (north).
+            y = 35.0 if i == 10 else 5.0
+            points.append(SpatioTemporalPoint(i * 10.0, y, float(i)))
+        config = MapMatchingConfig(candidate_radius=60, view_radius=2.0, kernel_width_factor=1.0)
+        global_matcher = GlobalMapMatcher(parallel_roads, config)
+        local_only = GlobalMapMatcher(
+            parallel_roads,
+            MapMatchingConfig(
+                candidate_radius=60, view_radius=2.0, kernel_width_factor=1.0, use_global_score=False
+            ),
+        )
+        global_ids = [m.segment_id for m in global_matcher.match(points)]
+        local_ids = [m.segment_id for m in local_only.match(points)]
+        assert local_ids[10] == "north"
+        assert global_ids[10] == "south"
+
+    def test_unmatched_point_far_from_network(self, parallel_roads):
+        matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=50))
+        matched = matcher.match([SpatioTemporalPoint(100, 5000, 0)])
+        assert matched[0].segment is None
+        assert not matched[0].is_matched
+        assert matched[0].snapped == Point(100, 5000)
+
+    def test_snapped_position_lies_on_segment(self, parallel_roads):
+        matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=60))
+        matched = matcher.match([SpatioTemporalPoint(100, 7, 0)])
+        assert matched[0].snapped.y == pytest.approx(0.0)
+        assert matched[0].snapped.x == pytest.approx(100.0)
+
+    def test_empty_input(self, parallel_roads):
+        matcher = GlobalMapMatcher(parallel_roads)
+        assert matcher.match([]) == []
+
+    def test_matched_segment_sequence_deduplicates(self, parallel_roads):
+        matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=60))
+        sequence = matcher.matched_segment_sequence(_track_along(2.0))
+        assert sequence == ["south"]
+
+    def test_perpendicular_metric_option(self, parallel_roads):
+        config = MapMatchingConfig(candidate_radius=60, distance_metric="perpendicular")
+        matcher = GlobalMapMatcher(parallel_roads, config)
+        matched = matcher.match(_track_along(2.0))
+        assert all(m.segment_id == "south" for m in matched)
+
+
+class TestMatchingAccuracy:
+    def test_perfect_match(self):
+        assert matching_accuracy(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_partial_match(self):
+        assert matching_accuracy(["a", "x", "b", "y"], ["a", "b", "b", "b"]) == pytest.approx(0.5)
+
+    def test_none_truth_entries_skipped(self):
+        assert matching_accuracy(["a", "x"], ["a", None]) == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            matching_accuracy(["a"], ["a", "b"])
+
+    def test_all_none_truth(self):
+        assert matching_accuracy(["a"], [None]) == 0.0
+
+
+class TestGroundTruthDriveAccuracy:
+    def test_accuracy_on_synthetic_drive_is_high(self, road_network, ground_truth_drive):
+        matcher = GlobalMapMatcher(
+            road_network, MapMatchingConfig(candidate_radius=50, view_radius=2.0)
+        )
+        matched = matcher.match(ground_truth_drive.trajectory.points)
+        accuracy = matching_accuracy(
+            [m.segment_id for m in matched], ground_truth_drive.truth_segment_ids
+        )
+        assert accuracy > 0.85
+
+    def test_global_score_not_worse_than_local_only(self, road_network, ground_truth_drive):
+        base = MapMatchingConfig(candidate_radius=50, view_radius=2.0)
+        local = MapMatchingConfig(candidate_radius=50, view_radius=2.0, use_global_score=False)
+        points = ground_truth_drive.trajectory.points
+        truth = ground_truth_drive.truth_segment_ids
+        global_acc = matching_accuracy(
+            [m.segment_id for m in GlobalMapMatcher(road_network, base).match(points)], truth
+        )
+        local_acc = matching_accuracy(
+            [m.segment_id for m in GlobalMapMatcher(road_network, local).match(points)], truth
+        )
+        assert global_acc >= local_acc - 0.02

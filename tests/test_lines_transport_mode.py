@@ -1,0 +1,146 @@
+"""Unit tests for transportation-mode inference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import TransportModeConfig
+from repro.core.points import SpatioTemporalPoint
+from repro.geometry.primitives import Point
+from repro.lines.map_matching import MatchedPoint
+from repro.lines.road_network import make_road_segment
+from repro.lines.transport_mode import (
+    TRANSPORT_MODES,
+    ModeSegment,
+    TransportModeClassifier,
+    mode_share_by_duration,
+)
+
+
+def _uniform_track(speed: float, count: int = 20, interval: float = 10.0):
+    return [SpatioTemporalPoint(i * speed * interval, 0.0, i * interval) for i in range(count)]
+
+
+def _matched(points, segment):
+    return [
+        MatchedPoint(point=p, segment=segment, score=1.0, snapped=p.position) for p in points
+    ]
+
+
+class TestClassifySingleRun:
+    def test_walking_speed_on_road(self):
+        classifier = TransportModeClassifier()
+        assert classifier.classify(_uniform_track(1.2), road_type="road") == "walk"
+
+    def test_cycling_speed_on_road(self):
+        classifier = TransportModeClassifier()
+        assert classifier.classify(_uniform_track(4.5), road_type="road") == "bicycle"
+
+    def test_bus_speed_on_road(self):
+        classifier = TransportModeClassifier()
+        assert classifier.classify(_uniform_track(9.5), road_type="road") == "bus"
+
+    def test_car_speed_on_road(self):
+        classifier = TransportModeClassifier()
+        assert classifier.classify(_uniform_track(20.0), road_type="road") == "car"
+
+    def test_metro_line_forces_metro(self):
+        classifier = TransportModeClassifier()
+        assert classifier.classify(_uniform_track(16.0), road_type="metro_line") == "metro"
+        assert classifier.classify(_uniform_track(1.0), road_type="metro_line") == "metro"
+
+    def test_rail_forces_train(self):
+        classifier = TransportModeClassifier()
+        assert classifier.classify(_uniform_track(30.0), road_type="rail") == "train"
+
+    def test_pathway_is_walk_or_bicycle(self):
+        classifier = TransportModeClassifier()
+        assert classifier.classify(_uniform_track(1.2), road_type="path_way") == "walk"
+        assert classifier.classify(_uniform_track(5.0), road_type="path_way") == "bicycle"
+
+    def test_highway_is_bus_or_car(self):
+        classifier = TransportModeClassifier()
+        assert classifier.classify(_uniform_track(10.0), road_type="highway") == "bus"
+        assert classifier.classify(_uniform_track(25.0), road_type="highway") == "car"
+
+    def test_unmatched_run_uses_speed_only(self):
+        classifier = TransportModeClassifier()
+        assert classifier.classify(_uniform_track(1.0), road_type=None) == "walk"
+
+    def test_all_outputs_are_known_modes(self):
+        classifier = TransportModeClassifier()
+        for speed in (0.5, 2.0, 4.0, 8.0, 15.0, 30.0):
+            for road_type in (None, "road", "path_way", "metro_line", "highway", "rail"):
+                assert classifier.classify(_uniform_track(speed), road_type) in TRANSPORT_MODES
+
+
+class TestSegmentModes:
+    def test_groups_by_segment(self):
+        classifier = TransportModeClassifier()
+        road = make_road_segment("r1", "road", Point(0, 0), Point(1000, 0), "road")
+        metro = make_road_segment("m1", "metro", Point(1000, 0), Point(3000, 0), "metro_line")
+        walk_points = _uniform_track(1.3, count=10)
+        metro_points = [
+            SpatioTemporalPoint(1000 + i * 160.0, 0.0, 100 + i * 10.0) for i in range(10)
+        ]
+        matched = _matched(walk_points, road) + _matched(metro_points, metro)
+        segments = classifier.segment_modes(matched)
+        assert len(segments) == 2
+        assert segments[0].mode == "walk"
+        assert segments[1].mode == "metro"
+
+    def test_empty_input(self):
+        assert TransportModeClassifier().segment_modes([]) == []
+
+    def test_dominant_mode_by_duration(self):
+        classifier = TransportModeClassifier()
+        road = make_road_segment("r1", "road", Point(0, 0), Point(100, 0), "road")
+        metro = make_road_segment("m1", "metro", Point(100, 0), Point(3000, 0), "metro_line")
+        short_walk = _matched(_uniform_track(1.3, count=3), road)
+        long_metro = _matched(
+            [SpatioTemporalPoint(100 + i * 160.0, 0.0, 30 + i * 10.0) for i in range(30)], metro
+        )
+        assert classifier.dominant_mode(short_walk + long_metro) == "metro"
+
+    def test_dominant_mode_empty(self):
+        assert TransportModeClassifier().dominant_mode([]) is None
+
+    def test_mode_flicker_smoothing(self):
+        classifier = TransportModeClassifier()
+        segments = [
+            ModeSegment("a", "road", "bus", 0, 100, 10, 9.0),
+            ModeSegment("b", "road", "bicycle", 100, 110, 2, 6.0),
+            ModeSegment("c", "road", "bus", 110, 200, 10, 9.0),
+        ]
+        smoothed = classifier._smooth_modes(segments)
+        assert [s.mode for s in smoothed] == ["bus", "bus", "bus"]
+
+    def test_forced_modes_not_smoothed_away(self):
+        classifier = TransportModeClassifier()
+        segments = [
+            ModeSegment("a", "road", "walk", 0, 100, 10, 1.0),
+            ModeSegment("b", "metro_line", "metro", 100, 400, 10, 16.0),
+            ModeSegment("c", "road", "walk", 400, 500, 10, 1.0),
+        ]
+        smoothed = classifier._smooth_modes(segments)
+        assert [s.mode for s in smoothed] == ["walk", "metro", "walk"]
+
+
+class TestModeShare:
+    def test_shares_sum_to_one(self):
+        segments = [
+            ModeSegment("a", "road", "walk", 0, 100, 5, 1.2),
+            ModeSegment("b", "metro_line", "metro", 100, 400, 5, 16.0),
+        ]
+        shares = mode_share_by_duration(segments)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["metro"] == pytest.approx(0.75)
+
+    def test_empty_segments(self):
+        assert mode_share_by_duration([]) == {}
+
+
+class TestConfig:
+    def test_custom_thresholds_change_decision(self):
+        strict = TransportModeClassifier(TransportModeConfig(walk_speed_max=0.5, bicycle_speed_max=1.0, bus_speed_max=2.0))
+        assert strict.classify(_uniform_track(1.5), road_type="road") in ("bus", "car")

@@ -1,0 +1,96 @@
+"""Unit tests for GPS cleaning (outlier removal and smoothing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CleaningConfig
+from repro.core.errors import DataQualityError
+from repro.core.points import SpatioTemporalPoint
+from repro.preprocessing.cleaning import GpsCleaner
+
+
+def _stream(*triples):
+    return [SpatioTemporalPoint(x, y, t) for x, y, t in triples]
+
+
+class TestOutlierRemoval:
+    def test_keeps_plausible_stream(self):
+        cleaner = GpsCleaner(CleaningConfig(max_speed=10))
+        points = _stream((0, 0, 0), (5, 0, 1), (10, 0, 2))
+        assert cleaner.remove_outliers(points) == points
+
+    def test_drops_single_wild_fix(self):
+        cleaner = GpsCleaner(CleaningConfig(max_speed=10))
+        points = _stream((0, 0, 0), (5000, 0, 1), (10, 0, 2))
+        cleaned = cleaner.remove_outliers(points)
+        assert len(cleaned) == 2
+        assert cleaned[1].x == 10
+
+    def test_drops_duplicate_timestamps(self):
+        cleaner = GpsCleaner()
+        points = _stream((0, 0, 0), (1, 0, 0), (2, 0, 1))
+        cleaned = cleaner.remove_outliers(points)
+        assert [p.t for p in cleaned] == [0, 1]
+
+    def test_rejects_decreasing_timestamps(self):
+        cleaner = GpsCleaner()
+        points = _stream((0, 0, 10), (1, 0, 5))
+        with pytest.raises(DataQualityError):
+            cleaner.remove_outliers(points)
+
+    def test_empty_stream(self):
+        assert GpsCleaner().remove_outliers([]) == []
+
+    def test_consecutive_outliers_all_dropped(self):
+        cleaner = GpsCleaner(CleaningConfig(max_speed=10))
+        points = _stream((0, 0, 0), (5000, 0, 1), (5100, 0, 2), (10, 0, 3))
+        cleaned = cleaner.remove_outliers(points)
+        assert [p.x for p in cleaned] == [0, 10]
+
+
+class TestSmoothing:
+    def test_smoothing_reduces_jitter(self):
+        cleaner = GpsCleaner(CleaningConfig(smoothing_window=3, smoothing_method="mean"))
+        points = _stream((0, 0, 0), (10, 0, 1), (0, 0, 2), (10, 0, 3), (0, 0, 4))
+        smoothed = cleaner.smooth(points)
+        # Interior points are pulled towards the local mean.
+        assert smoothed[1].x != points[1].x
+        assert 0 < smoothed[2].x < 10
+
+    def test_endpoints_are_preserved(self):
+        cleaner = GpsCleaner(CleaningConfig(smoothing_window=3))
+        points = _stream((0, 0, 0), (5, 5, 1), (10, 10, 2))
+        smoothed = cleaner.smooth(points)
+        assert smoothed[0] == points[0]
+        assert smoothed[-1] == points[-1]
+
+    def test_timestamps_are_preserved(self):
+        cleaner = GpsCleaner(CleaningConfig(smoothing_window=5))
+        points = _stream(*[(i * 3.0, 0, i) for i in range(10)])
+        smoothed = cleaner.smooth(points)
+        assert [p.t for p in smoothed] == [p.t for p in points]
+
+    def test_window_one_disables_smoothing(self):
+        cleaner = GpsCleaner(CleaningConfig(smoothing_window=1))
+        points = _stream((0, 0, 0), (10, 0, 1), (0, 0, 2))
+        assert cleaner.smooth(points) == points
+
+    def test_method_none_disables_smoothing(self):
+        cleaner = GpsCleaner(CleaningConfig(smoothing_window=5, smoothing_method="none"))
+        points = _stream((0, 0, 0), (10, 0, 1), (0, 0, 2))
+        assert cleaner.smooth(points) == points
+
+    def test_short_streams_returned_unchanged(self):
+        cleaner = GpsCleaner()
+        points = _stream((0, 0, 0), (1, 1, 1))
+        assert cleaner.smooth(points) == points
+
+
+class TestFullClean:
+    def test_clean_combines_both_steps(self):
+        cleaner = GpsCleaner(CleaningConfig(max_speed=10, smoothing_window=3))
+        points = _stream((0, 0, 0), (5000, 0, 1), (2, 0, 2), (4, 0, 3), (6, 0, 4))
+        cleaned = cleaner.clean(points)
+        assert len(cleaned) == 4
+        assert all(p.x < 100 for p in cleaned)

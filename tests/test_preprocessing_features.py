@@ -1,0 +1,104 @@
+"""Unit tests for motion feature extraction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.points import SpatioTemporalPoint, build_trajectory
+from repro.preprocessing.features import (
+    MotionFeatures,
+    compute_motion_features,
+    features_for_trajectory,
+    heading_change_rate,
+)
+
+
+def _points(*triples):
+    return [SpatioTemporalPoint(x, y, t) for x, y, t in triples]
+
+
+class TestComputeMotionFeatures:
+    def test_constant_speed(self):
+        points = _points(*[(i * 10.0, 0, i) for i in range(5)])
+        features = compute_motion_features(points)
+        assert len(features) == 5
+        assert all(speed == pytest.approx(10.0) for speed in features.speeds)
+        assert features.mean_speed() == pytest.approx(10.0)
+        assert features.mean_absolute_acceleration() == pytest.approx(0.0)
+
+    def test_acceleration_detected(self):
+        # Speeds 1, then 3: acceleration at the switch point.
+        points = _points((0, 0, 0), (1, 0, 1), (4, 0, 2), (7, 0, 3))
+        features = compute_motion_features(points)
+        assert features.mean_absolute_acceleration() > 0.0
+
+    def test_headings(self):
+        points = _points((0, 0, 0), (1, 0, 1), (1, 1, 2))
+        features = compute_motion_features(points)
+        assert features.headings[0] == pytest.approx(0.0)
+        assert features.headings[1] == pytest.approx(math.pi / 2)
+
+    def test_empty_and_single_point(self):
+        assert len(compute_motion_features([])) == 0
+        single = compute_motion_features(_points((0, 0, 0)))
+        assert single.speeds == [0.0]
+
+    def test_zero_time_delta_gives_zero_speed(self):
+        points = _points((0, 0, 0), (10, 0, 0))
+        features = compute_motion_features(points)
+        assert features.speeds[0] == 0.0
+
+    def test_lengths_match_input(self):
+        points = _points(*[(i, i, i) for i in range(7)])
+        features = compute_motion_features(points)
+        assert len(features.speeds) == len(features.accelerations) == len(features.headings) == 7
+
+    def test_features_for_trajectory(self):
+        trajectory = build_trajectory([(0, 0, 0), (1, 0, 1), (2, 0, 2)])
+        features = features_for_trajectory(trajectory)
+        assert features.mean_speed() == pytest.approx(1.0)
+
+
+class TestFeatureStatistics:
+    def test_max_speed(self):
+        features = MotionFeatures(speeds=[1.0, 5.0, 3.0], accelerations=[0, 0, 0], headings=[0, 0, 0])
+        assert features.max_speed() == 5.0
+
+    def test_speed_percentile(self):
+        features = MotionFeatures(
+            speeds=[1.0, 2.0, 3.0, 4.0], accelerations=[0] * 4, headings=[0] * 4
+        )
+        assert features.speed_percentile(0) == 1.0
+        assert features.speed_percentile(100) == 4.0
+        assert features.speed_percentile(50) == pytest.approx(2.5)
+
+    def test_speed_percentile_invalid(self):
+        features = MotionFeatures(speeds=[1.0], accelerations=[0.0], headings=[0.0])
+        with pytest.raises(ValueError):
+            features.speed_percentile(120)
+
+    def test_empty_statistics(self):
+        features = MotionFeatures(speeds=[], accelerations=[], headings=[])
+        assert features.mean_speed() == 0.0
+        assert features.max_speed() == 0.0
+        assert features.speed_percentile(50) == 0.0
+
+
+class TestHeadingChangeRate:
+    def test_straight_line_is_zero(self):
+        assert heading_change_rate([0.0, 0.0, 0.0]) == 0.0
+
+    def test_turns_increase_rate(self):
+        straight = heading_change_rate([0.0, 0.0, 0.0, 0.0])
+        wiggly = heading_change_rate([0.0, math.pi / 2, 0.0, math.pi / 2])
+        assert wiggly > straight
+
+    def test_wraps_around_pi(self):
+        # A heading change from +179deg to -179deg is only 2deg, not 358deg.
+        rate = heading_change_rate([math.pi - 0.01, -math.pi + 0.01])
+        assert rate == pytest.approx(0.02, abs=1e-6)
+
+    def test_short_input(self):
+        assert heading_change_rate([1.0]) == 0.0

@@ -1,0 +1,124 @@
+"""Unit tests for the semantic trajectory store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.annotations import activity_annotation, region_annotation, transport_mode_annotation
+from repro.core.episodes import Episode, EpisodeKind
+from repro.core.errors import StoreError
+from repro.core.places import RegionOfInterest
+from repro.core.points import build_trajectory
+from repro.geometry.primitives import BoundingBox
+from repro.store.store import SemanticTrajectoryStore
+
+
+@pytest.fixture()
+def store():
+    with SemanticTrajectoryStore() as s:
+        yield s
+
+
+@pytest.fixture()
+def trajectory():
+    return build_trajectory(
+        [(float(i * 10), 0.0, float(i * 5)) for i in range(20)],
+        object_id="obj",
+        trajectory_id="traj-1",
+    )
+
+
+def _region() -> RegionOfInterest:
+    return RegionOfInterest(
+        place_id="cell-1", name="cell", category="1.2", extent=BoundingBox(0, 0, 100, 100)
+    )
+
+
+class TestTrajectories:
+    def test_save_and_count(self, store, trajectory):
+        store.save_trajectory(trajectory)
+        assert store.trajectory_count() == 1
+        assert store.gps_record_count() == 20
+        assert store.trajectory_ids() == ["traj-1"]
+
+    def test_duplicate_save_rejected(self, store, trajectory):
+        store.save_trajectory(trajectory)
+        with pytest.raises(StoreError):
+            store.save_trajectory(trajectory)
+
+    def test_round_trip(self, store, trajectory):
+        store.save_trajectory(trajectory)
+        loaded = store.load_trajectory("traj-1")
+        assert len(loaded) == len(trajectory)
+        assert loaded.object_id == "obj"
+        assert loaded[3].as_tuple() == trajectory[3].as_tuple()
+
+    def test_load_unknown_trajectory(self, store):
+        with pytest.raises(StoreError):
+            store.load_trajectory("missing")
+
+    def test_save_without_points(self, store, trajectory):
+        store.save_trajectory(trajectory, store_points=False)
+        assert store.gps_record_count() == 0
+        with pytest.raises(StoreError):
+            store.load_trajectory("traj-1")
+
+
+class TestEpisodes:
+    def test_save_episode_with_annotations(self, store, trajectory):
+        store.save_trajectory(trajectory)
+        episode = Episode(EpisodeKind.STOP, trajectory, 0, 5)
+        episode.add_annotation(region_annotation(_region()))
+        episode.add_annotation(activity_annotation("shopping"))
+        episode_id = store.save_episode(episode)
+        annotations = store.annotations_for(episode_id)
+        assert len(annotations) == 2
+        kinds = {a["kind"] for a in annotations}
+        assert kinds == {"region", "activity"}
+        assert store.annotation_count() == 2
+
+    def test_save_episodes_and_counts(self, store, trajectory):
+        store.save_trajectory(trajectory)
+        episodes = [
+            Episode(EpisodeKind.STOP, trajectory, 0, 5),
+            Episode(EpisodeKind.MOVE, trajectory, 5, 20),
+        ]
+        ids = store.save_episodes(episodes)
+        assert len(ids) == 2
+        assert store.episode_count() == 2
+        assert store.episode_count(EpisodeKind.STOP) == 1
+        assert store.episode_count(EpisodeKind.MOVE) == 1
+
+    def test_episodes_for_trajectory_in_time_order(self, store, trajectory):
+        store.save_trajectory(trajectory)
+        store.save_episode(Episode(EpisodeKind.MOVE, trajectory, 5, 20))
+        store.save_episode(Episode(EpisodeKind.STOP, trajectory, 0, 5))
+        rows = store.episodes_for("traj-1")
+        assert [row["kind"] for row in rows] == ["stop", "move"]
+        assert rows[0]["time_in"] <= rows[1]["time_in"]
+
+    def test_category_histogram(self, store, trajectory):
+        store.save_trajectory(trajectory)
+        stop = Episode(EpisodeKind.STOP, trajectory, 0, 5)
+        stop.add_annotation(region_annotation(_region()))
+        move = Episode(EpisodeKind.MOVE, trajectory, 5, 20)
+        move.add_annotation(transport_mode_annotation("bus"))
+        store.save_episodes([stop, move])
+        histogram = store.category_histogram()
+        assert histogram == {"1.2": 1}
+        assert store.category_histogram("region") == {"1.2": 1}
+        assert store.category_histogram("line") == {}
+
+    def test_stop_move_summary(self, store, trajectory):
+        store.save_trajectory(trajectory)
+        store.save_episodes(
+            [
+                Episode(EpisodeKind.STOP, trajectory, 0, 5),
+                Episode(EpisodeKind.MOVE, trajectory, 5, 20),
+            ]
+        )
+        summary = store.stop_move_summary()
+        assert summary == {"trajectories": 1, "gps_records": 20, "stops": 1, "moves": 1}
+
+    def test_annotations_for_unknown_episode_is_empty(self, store):
+        assert store.annotations_for(999) == []
