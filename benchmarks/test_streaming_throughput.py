@@ -1,0 +1,111 @@
+"""Streaming engine throughput and per-event latency versus the batch pipeline.
+
+Feeds the car and people datasets event-by-event through the
+:class:`StreamingAnnotationEngine` and reports, per dataset:
+
+* events/second for the streaming engine and for batch ``annotate_many`` on
+  the same trajectories (the batch number divides total wall time by the
+  total number of GPS events);
+* p50 and p99 latency of a single ``ingest`` call — most calls only buffer
+  the event, while every ``micro_batch_size``-th call pays for a processing
+  pass, which is exactly the latency profile an online service exhibits.
+
+Both paths run the full annotation stack (region + line + point) without
+persistence, so the comparison isolates computation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Tuple
+
+from benchmarks.conftest import save_result
+from repro.analytics.reporting import render_table
+from repro.core import PipelineConfig, SeMiTriPipeline
+from repro.core.config import StreamingConfig, TrajectoryIdentificationConfig
+from repro.streaming import StreamingAnnotationEngine
+
+
+def _streaming_config(base: PipelineConfig) -> PipelineConfig:
+    return dataclasses.replace(
+        base,
+        identification=TrajectoryIdentificationConfig(
+            max_time_gap=1e15, max_distance_gap=1e15, min_points=1
+        ),
+        streaming=StreamingConfig(micro_batch_size=64, apply_cleaning=False),
+    )
+
+
+def _percentile(ordered: List[float], percentile: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, int(round((percentile / 100.0) * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _run_streaming(trajectories, sources, config) -> Tuple[int, float, List[float], int]:
+    engine = StreamingAnnotationEngine(sources, config=config)
+    latencies: List[float] = []
+    results = 0
+    started = time.perf_counter()
+    for trajectory in trajectories:
+        object_id = trajectory.object_id
+        for point in trajectory.points:
+            ingest_started = time.perf_counter()
+            results += len(engine.ingest(object_id, point))
+            latencies.append(time.perf_counter() - ingest_started)
+        results += len(engine.close_object(object_id))
+    elapsed = time.perf_counter() - started
+    return len(latencies), elapsed, latencies, results
+
+
+def test_streaming_throughput(benchmark, car_dataset, people_dataset, annotation_sources):
+    cases = [
+        ("car", PipelineConfig.for_vehicles(), car_dataset.trajectories),
+        ("people", PipelineConfig.for_people(), people_dataset.all_trajectories),
+    ]
+    rows = []
+    measured = {}
+
+    def run_all():
+        for name, base_config, trajectories in cases:
+            config = _streaming_config(base_config)
+            events, stream_elapsed, latencies, stream_results = _run_streaming(
+                trajectories, annotation_sources, config
+            )
+            batch_started = time.perf_counter()
+            batch_results = SeMiTriPipeline(config).annotate_many(
+                trajectories, annotation_sources
+            )
+            batch_elapsed = time.perf_counter() - batch_started
+            measured[name] = (events, stream_elapsed, latencies, stream_results, batch_elapsed, len(batch_results))
+        return measured
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for name, base_config, trajectories in cases:
+        events, stream_elapsed, latencies, stream_results, batch_elapsed, batch_count = measured[name]
+        ordered = sorted(latencies)
+        rows.append(
+            [
+                name,
+                events,
+                f"{events / stream_elapsed:,.0f}",
+                f"{events / batch_elapsed:,.0f}",
+                f"{_percentile(ordered, 50.0) * 1e6:.1f}",
+                f"{_percentile(ordered, 99.0) * 1e6:.1f}",
+            ]
+        )
+        # Streaming must produce exactly the batch result count, and
+        # micro-batching must keep the median ingest below the mean per-event
+        # cost (most events only buffer; the pass cost lands in the tail).
+        assert stream_results == batch_count
+        assert _percentile(ordered, 50.0) < stream_elapsed / events
+
+    text = render_table(
+        ["dataset", "events", "stream ev/s", "batch ev/s", "p50 us/event", "p99 us/event"],
+        rows,
+        title="Streaming engine throughput vs batch pipeline",
+    )
+    save_result("streaming_throughput", text)

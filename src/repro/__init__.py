@@ -44,8 +44,10 @@ from repro.core import (
     SemanticTrajectory,
     SpatioTemporalPoint,
     StopMoveConfig,
+    StreamingConfig,
     StructuredSemanticTrajectory,
 )
+from repro.streaming import StreamingAnnotationEngine
 
 __version__ = "1.0.0"
 
@@ -69,6 +71,8 @@ __all__ = [
     "SemanticTrajectory",
     "SpatioTemporalPoint",
     "StopMoveConfig",
+    "StreamingAnnotationEngine",
+    "StreamingConfig",
     "StructuredSemanticTrajectory",
     "__version__",
 ]

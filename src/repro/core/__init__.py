@@ -43,8 +43,14 @@ from repro.core.config import (
     PointAnnotationConfig,
     RegionAnnotationConfig,
     StopMoveConfig,
+    StreamingConfig,
 )
-from repro.core.pipeline import AnnotationSources, PipelineResult, SeMiTriPipeline
+from repro.core.pipeline import (
+    AnnotationSources,
+    LayerAnnotators,
+    PipelineResult,
+    SeMiTriPipeline,
+)
 
 __all__ = [
     "Annotation",
@@ -71,7 +77,9 @@ __all__ = [
     "RegionAnnotationConfig",
     "MapMatchingConfig",
     "PointAnnotationConfig",
+    "StreamingConfig",
     "AnnotationSources",
+    "LayerAnnotators",
     "PipelineResult",
     "SeMiTriPipeline",
 ]

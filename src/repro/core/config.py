@@ -225,6 +225,38 @@ class PointAnnotationConfig:
 
 
 @dataclass(frozen=True)
+class StreamingConfig:
+    """Parameters of the streaming annotation engine.
+
+    The engine micro-batches incoming ``(object_id, point)`` events, keeps one
+    session per moving object and seals episodes/trajectories online; these
+    knobs bound its memory and control the batching trade-off between
+    per-event latency and throughput.
+    """
+
+    micro_batch_size: int = 32
+    """Events buffered before the engine runs a processing pass; 1 processes
+    every event immediately (lowest latency, most recomputation)."""
+
+    max_sessions: int = 10_000
+    """Maximum number of simultaneously open per-object sessions; the least
+    recently active session is closed (sealing its open trajectory) when a new
+    object would exceed the capacity."""
+
+    apply_cleaning: bool = False
+    """Run the streaming GPS cleaner (outlier removal + smoothing) on incoming
+    points, mirroring :meth:`SeMiTriPipeline.ingest_stream`.  Off by default
+    so that the engine reproduces :meth:`SeMiTriPipeline.annotate_many` on
+    already-cleaned trajectories."""
+
+    def __post_init__(self) -> None:
+        if self.micro_batch_size < 1:
+            raise ConfigurationError("micro_batch_size must be at least 1")
+        if self.max_sessions < 1:
+            raise ConfigurationError("max_sessions must be at least 1")
+
+
+@dataclass(frozen=True)
 class PipelineConfig:
     """Top-level configuration bundling every layer's parameters."""
 
@@ -237,6 +269,7 @@ class PipelineConfig:
     map_matching: MapMatchingConfig = field(default_factory=MapMatchingConfig)
     transport: TransportModeConfig = field(default_factory=TransportModeConfig)
     point: PointAnnotationConfig = field(default_factory=PointAnnotationConfig)
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
 
     @classmethod
     def for_vehicles(cls) -> "PipelineConfig":

@@ -55,6 +55,43 @@ class AnnotationSources:
 
 
 @dataclass
+class LayerAnnotators:
+    """The three layer annotators built once for a batch or stream of work.
+
+    Building an annotator indexes its source (R-tree, grids, HMM), so both
+    batch runs and the streaming engine construct this bundle once and reuse
+    it for every trajectory.
+    """
+
+    region: Optional[RegionAnnotator] = None
+    line: Optional[LineAnnotator] = None
+    point: Optional[PointAnnotator] = None
+
+    @classmethod
+    def build(cls, sources: AnnotationSources, config: PipelineConfig) -> "LayerAnnotators":
+        """Construct the annotators for every source that is available."""
+        return cls(
+            region=(
+                RegionAnnotator(sources.regions, config.region)
+                if sources.regions is not None
+                else None
+            ),
+            line=(
+                LineAnnotator(
+                    sources.road_network,
+                    matching_config=config.map_matching,
+                    transport_config=config.transport,
+                )
+                if sources.road_network is not None
+                else None
+            ),
+            point=(
+                PointAnnotator(sources.pois, config.point) if sources.pois is not None else None
+            ),
+        )
+
+
+@dataclass
 class PipelineResult:
     """Everything the pipeline produced for one raw trajectory."""
 
@@ -121,6 +158,10 @@ class SeMiTriPipeline:
         return self._detector.segment(trajectory)
 
     # -------------------------------------------------------------- annotation
+    def build_annotators(self, sources: AnnotationSources) -> LayerAnnotators:
+        """Construct the layer annotators for the available sources."""
+        return LayerAnnotators.build(sources, self._config)
+
     def annotate(
         self,
         trajectory: RawTrajectory,
@@ -136,46 +177,7 @@ class SeMiTriPipeline:
         annotations are written to the semantic trajectory store, and the
         storage time is included in the latency profile.
         """
-        timer = StageTimer()
-        result = PipelineResult(trajectory=trajectory, episodes=[], latency=timer.profile)
-
-        with timer.stage("compute_episode"):
-            episodes = self._detector.segment(trajectory)
-        result.episodes = episodes
-
-        persist_enabled = persist and self._store is not None
-        if persist_enabled:
-            with timer.stage("store_episode"):
-                self._store.save_trajectory(trajectory)
-
-        if sources.regions is not None:
-            annotator = RegionAnnotator(sources.regions, self._config.region)
-            with timer.stage("landuse_join"):
-                result.region_trajectory = annotator.annotate_episodes(episodes)
-
-        if sources.road_network is not None:
-            line_annotator = LineAnnotator(
-                sources.road_network,
-                matching_config=self._config.map_matching,
-                transport_config=self._config.transport,
-            )
-            with timer.stage("map_match"):
-                result.line_trajectories = line_annotator.annotate_episodes(
-                    [episode for episode in episodes if episode.is_move]
-                )
-
-        stops = [episode for episode in episodes if episode.is_stop]
-        if sources.pois is not None and stops:
-            point_annotator = PointAnnotator(sources.pois, self._config.point)
-            with timer.stage("poi_annotation"):
-                result.point_trajectory = point_annotator.annotate_stops(stops)
-                result.trajectory_category = point_annotator.classify_trajectory(stops)
-
-        if persist_enabled:
-            with timer.stage("store_match_result"):
-                self._store.save_episodes(episodes)
-
-        return result
+        return self._annotate_one(trajectory, self.build_annotators(sources), persist)
 
     def annotate_many(
         self,
@@ -189,55 +191,54 @@ class SeMiTriPipeline:
         the sources), then applied to every trajectory; this is the batch mode
         the experiments of Section 5 use.
         """
-        region_annotator = (
-            RegionAnnotator(sources.regions, self._config.region)
-            if sources.regions is not None
-            else None
-        )
-        line_annotator = (
-            LineAnnotator(
-                sources.road_network,
-                matching_config=self._config.map_matching,
-                transport_config=self._config.transport,
-            )
-            if sources.road_network is not None
-            else None
-        )
-        point_annotator = (
-            PointAnnotator(sources.pois, self._config.point) if sources.pois is not None else None
-        )
+        annotators = self.build_annotators(sources)
+        return [self._annotate_one(trajectory, annotators, persist) for trajectory in trajectories]
 
-        results: List[PipelineResult] = []
-        for trajectory in trajectories:
-            timer = StageTimer()
-            result = PipelineResult(trajectory=trajectory, episodes=[], latency=timer.profile)
-            with timer.stage("compute_episode"):
-                episodes = self._detector.segment(trajectory)
-            result.episodes = episodes
+    def _annotate_one(
+        self,
+        trajectory: RawTrajectory,
+        annotators: LayerAnnotators,
+        persist: bool,
+    ) -> PipelineResult:
+        """Segment, annotate and optionally persist one raw trajectory.
 
-            persist_enabled = persist and self._store is not None
-            if persist_enabled:
-                with timer.stage("store_episode"):
-                    self._store.save_trajectory(trajectory)
+        The single code path behind :meth:`annotate` and :meth:`annotate_many`;
+        the streaming engine mirrors the same stage structure (and stage
+        names) while computing the episodes incrementally.
+        """
+        timer = StageTimer()
+        result = PipelineResult(trajectory=trajectory, episodes=[], latency=timer.profile)
 
-            if region_annotator is not None:
-                with timer.stage("landuse_join"):
-                    result.region_trajectory = region_annotator.annotate_episodes(episodes)
-            if line_annotator is not None:
-                with timer.stage("map_match"):
-                    result.line_trajectories = line_annotator.annotate_episodes(
-                        [episode for episode in episodes if episode.is_move]
-                    )
-            stops = [episode for episode in episodes if episode.is_stop]
-            if point_annotator is not None and stops:
-                with timer.stage("poi_annotation"):
-                    result.point_trajectory = point_annotator.annotate_stops(stops)
-                    result.trajectory_category = point_annotator.classify_trajectory(stops)
-            if persist_enabled:
-                with timer.stage("store_match_result"):
-                    self._store.save_episodes(episodes)
-            results.append(result)
-        return results
+        with timer.stage("compute_episode"):
+            episodes = self._detector.segment(trajectory)
+        result.episodes = episodes
+
+        persist_enabled = persist and self._store is not None
+        if persist_enabled:
+            with timer.stage("store_episode"):
+                self._store.save_trajectory(trajectory)
+
+        if annotators.region is not None:
+            with timer.stage("landuse_join"):
+                result.region_trajectory = annotators.region.annotate_episodes(episodes)
+
+        if annotators.line is not None:
+            with timer.stage("map_match"):
+                result.line_trajectories = annotators.line.annotate_episodes(
+                    [episode for episode in episodes if episode.is_move]
+                )
+
+        stops = [episode for episode in episodes if episode.is_stop]
+        if annotators.point is not None and stops:
+            with timer.stage("poi_annotation"):
+                result.point_trajectory = annotators.point.annotate_stops(stops)
+                result.trajectory_category = annotators.point.classify_trajectory(stops)
+
+        if persist_enabled:
+            with timer.stage("store_match_result"):
+                self._store.save_episodes(episodes)
+
+        return result
 
     # ---------------------------------------------------------------- analysis
     @staticmethod

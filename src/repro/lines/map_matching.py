@@ -88,7 +88,7 @@ class GlobalMapMatcher:
         """Match every GPS point of a move episode to a road segment."""
         if not points:
             return []
-        local_scores = [self._local_scores(point) for point in points]
+        local_scores = [self.local_scores(point) for point in points]
         matched: List[MatchedPoint] = []
         for index, point in enumerate(points):
             candidates = local_scores[index]
@@ -98,21 +98,25 @@ class GlobalMapMatcher:
                 )
                 continue
             if self._config.use_global_score:
-                scores = self._global_scores(points, local_scores, index)
+                scores = self.global_scores(points, local_scores, index)
             else:
                 scores = {seg_id: score for seg_id, (score, _) in candidates.items()}
-            best_id = max(scores.items(), key=lambda pair: (pair[1], pair[0]))[0]
-            best_segment = candidates[best_id][1]
-            snapped = closest_point_on_segment(point.position, best_segment.segment)
-            matched.append(
-                MatchedPoint(
-                    point=point,
-                    segment=best_segment,
-                    score=scores[best_id],
-                    snapped=snapped,
-                )
-            )
+            matched.append(self.select_best(point, candidates, scores))
         return matched
+
+    def select_best(
+        self,
+        point: SpatioTemporalPoint,
+        candidates: Dict[str, Tuple[float, LineOfInterest]],
+        scores: Dict[str, float],
+    ) -> MatchedPoint:
+        """Pick the highest-scoring candidate and snap the point onto it."""
+        best_id = max(scores.items(), key=lambda pair: (pair[1], pair[0]))[0]
+        best_segment = candidates[best_id][1]
+        snapped = closest_point_on_segment(point.position, best_segment.segment)
+        return MatchedPoint(
+            point=point, segment=best_segment, score=scores[best_id], snapped=snapped
+        )
 
     def matched_segment_sequence(self, points: Sequence[SpatioTemporalPoint]) -> List[str]:
         """De-duplicated sequence of matched segment ids (Algorithm 2 output)."""
@@ -130,7 +134,7 @@ class GlobalMapMatcher:
             return perpendicular_distance(point, segment.segment)
         return point_segment_distance(point, segment.segment)
 
-    def _local_scores(
+    def local_scores(
         self, point: SpatioTemporalPoint
     ) -> Dict[str, Tuple[float, LineOfInterest]]:
         """Equation 2: localScore of every candidate segment of ``point``."""
@@ -157,13 +161,20 @@ class GlobalMapMatcher:
             scores[segment_id] = (score, segment)
         return scores
 
-    def _global_scores(
+    def global_scores(
         self,
         points: Sequence[SpatioTemporalPoint],
         local_scores: Sequence[Dict[str, Tuple[float, LineOfInterest]]],
         index: int,
     ) -> Dict[str, float]:
-        """Equations 3-4: kernel-weighted global score of each candidate of point ``index``."""
+        """Equations 3-4: kernel-weighted global score of each candidate of point ``index``.
+
+        The context window is intrinsically bounded: the walk in each
+        direction stops at the first point leaving the view radius, which is
+        what lets the streaming :class:`~repro.streaming.matching.WindowedMapMatcher`
+        emit a point's match as soon as one later out-of-radius point has been
+        observed.
+        """
         center = points[index].position
         radius = self._config.context_radius
         sigma = self._config.kernel_width

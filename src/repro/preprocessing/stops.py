@@ -16,13 +16,165 @@ thresholds among the trajectory computing policies):
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.config import StopMoveConfig
 from repro.core.episodes import Episode, EpisodeKind, validate_episode_partition
 from repro.core.errors import DataQualityError
-from repro.core.points import RawTrajectory
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
 from repro.preprocessing.features import compute_motion_features
+
+
+# The segmentation passes are module-level functions so that the streaming
+# subsystem's incremental detector can run exactly the same code on a growing
+# point buffer; :class:`StopMoveDetector` composes them for the batch case.
+
+
+def velocity_stop_flags(
+    points: Sequence[SpatioTemporalPoint], speed_threshold: float
+) -> List[bool]:
+    """Per-point stop-candidate flags of the velocity policy."""
+    features = compute_motion_features(points)
+    return [speed < speed_threshold for speed in features.speeds]
+
+
+def expand_density_flags(
+    points: Sequence[SpatioTemporalPoint],
+    radius: float,
+    min_duration: float,
+    flags: List[bool],
+    start: int = 0,
+) -> int:
+    """Seed-and-expand density scan from ``start``, writing ``flags`` in place.
+
+    Returns the index of the first *tried* seed whose expansion was cut short
+    by the end of ``points`` rather than by a radius violation — everything
+    the scan decided before that seed is final, while flags from that seed
+    onwards may still change when more points arrive (this is the resumption
+    frontier the incremental detector restarts from).  Returns ``len(points)``
+    when the scan never reached the end (only possible for empty input).
+    """
+    n = len(points)
+    for index in range(start, n):
+        flags[index] = False
+    frontier = n
+    index = start
+    while index < n:
+        seed = points[index]
+        end = index
+        while end + 1 < n and seed.distance_to(points[end + 1]) <= radius:
+            end += 1
+        if end + 1 == n and frontier == n:
+            frontier = index
+        duration = points[end].t - seed.t
+        if duration >= min_duration and end > index:
+            for covered in range(index, end + 1):
+                flags[covered] = True
+            index = end + 1
+        else:
+            index += 1
+    return frontier
+
+
+def density_stop_flags(
+    points: Sequence[SpatioTemporalPoint], radius: float, min_duration: float
+) -> List[bool]:
+    """Per-point stop-candidate flags of the density policy."""
+    flags = [False] * len(points)
+    expand_density_flags(points, radius, min_duration, flags)
+    return flags
+
+
+def enforce_min_duration(
+    points: Sequence[SpatioTemporalPoint], flags: Sequence[bool], min_duration: float
+) -> List[bool]:
+    """Demote stop-candidate runs shorter than ``min_duration`` to moves."""
+    result = list(flags)
+    n = len(result)
+    index = 0
+    while index < n:
+        if not result[index]:
+            index += 1
+            continue
+        end = index
+        while end + 1 < n and result[end + 1]:
+            end += 1
+        duration = points[end].t - points[index].t
+        if duration < min_duration:
+            for covered in range(index, end + 1):
+                result[covered] = False
+        index = end + 1
+    return result
+
+
+def flags_to_episodes(trajectory: RawTrajectory, flags: Sequence[bool]) -> List[Episode]:
+    """Convert the per-point stop flags to maximal contiguous episodes."""
+    episodes: List[Episode] = []
+    n = len(flags)
+    start = 0
+    for index in range(1, n + 1):
+        if index == n or flags[index] != flags[start]:
+            kind = EpisodeKind.STOP if flags[start] else EpisodeKind.MOVE
+            episodes.append(Episode(kind, trajectory, start, index))
+            start = index
+    return episodes
+
+
+def absorb_short_moves(
+    trajectory: RawTrajectory,
+    episodes: List[Episode],
+    min_move_points: int,
+    previous_kind: Optional[EpisodeKind] = None,
+) -> List[Episode]:
+    """Merge move episodes shorter than ``min_move_points`` into neighbours.
+
+    Very short moves sandwiched between stops are GPS jitter, not real
+    movement; they are merged with the preceding episode (or the following
+    one when they are first).  Adjacent episodes of the same kind produced
+    by the merge are then coalesced.
+
+    ``previous_kind`` seeds the demotion of a short first episode when
+    ``episodes`` is the suffix of a longer segmentation (the incremental
+    detector recomputes only past its sealed frontier); the default keeps the
+    batch behaviour where the first episode takes the following kind.
+    """
+    if min_move_points <= 1 or len(episodes) <= 1:
+        return episodes
+
+    kinds: List[EpisodeKind] = []
+    ranges: List[List[int]] = []
+    for episode in episodes:
+        kinds.append(episode.kind)
+        ranges.append([episode.start_index, episode.end_index])
+
+    # Demote short moves to the kind of their previous neighbour.
+    for index in range(len(kinds)):
+        is_short_move = (
+            kinds[index] is EpisodeKind.MOVE
+            and (ranges[index][1] - ranges[index][0]) < min_move_points
+        )
+        if not is_short_move:
+            continue
+        if index > 0:
+            kinds[index] = kinds[index - 1]
+        elif previous_kind is not None:
+            kinds[index] = previous_kind
+        elif index + 1 < len(kinds):
+            kinds[index] = kinds[index + 1]
+
+    # Coalesce adjacent episodes of equal kind.
+    merged: List[Episode] = []
+    current_kind = kinds[0]
+    current_start, current_end = ranges[0]
+    for kind, (start, end) in zip(kinds[1:], ranges[1:]):
+        if kind is current_kind:
+            current_end = end
+        else:
+            merged.append(Episode(current_kind, trajectory, current_start, current_end))
+            current_kind = kind
+            current_start, current_end = start, end
+    merged.append(Episode(current_kind, trajectory, current_start, current_end))
+    return merged
 
 
 class StopMoveDetector:
@@ -75,9 +227,7 @@ class StopMoveDetector:
         return [v or d for v, d in zip(velocity, density)]
 
     def _velocity_flags(self, trajectory: RawTrajectory) -> List[bool]:
-        features = compute_motion_features(trajectory.points)
-        threshold = self._config.speed_threshold
-        return [speed < threshold for speed in features.speeds]
+        return velocity_stop_flags(trajectory.points, self._config.speed_threshold)
 
     def _density_flags(self, trajectory: RawTrajectory) -> List[bool]:
         """Seed-and-expand density policy.
@@ -86,105 +236,24 @@ class StopMoveDetector:
         stay within ``density_radius`` of the seed.  If the expansion covers at
         least ``min_stop_duration`` seconds, all covered points are flagged.
         """
-        points = trajectory.points
-        n = len(points)
-        flags = [False] * n
-        radius = self._config.density_radius
-        min_duration = self._config.min_stop_duration
-        index = 0
-        while index < n:
-            seed = points[index]
-            end = index
-            while end + 1 < n and seed.distance_to(points[end + 1]) <= radius:
-                end += 1
-            duration = points[end].t - seed.t
-            if duration >= min_duration and end > index:
-                for covered in range(index, end + 1):
-                    flags[covered] = True
-                index = end + 1
-            else:
-                index += 1
-        return flags
+        return density_stop_flags(
+            trajectory.points, self._config.density_radius, self._config.min_stop_duration
+        )
 
     # ------------------------------------------------------------ refinement
     def _enforce_min_duration(self, trajectory: RawTrajectory, flags: List[bool]) -> List[bool]:
         """Demote stop-candidate runs shorter than ``min_stop_duration`` to moves."""
-        points = trajectory.points
-        result = list(flags)
-        n = len(result)
-        index = 0
-        while index < n:
-            if not result[index]:
-                index += 1
-                continue
-            end = index
-            while end + 1 < n and result[end + 1]:
-                end += 1
-            duration = points[end].t - points[index].t
-            if duration < self._config.min_stop_duration:
-                for covered in range(index, end + 1):
-                    result[covered] = False
-            index = end + 1
-        return result
+        return enforce_min_duration(trajectory.points, flags, self._config.min_stop_duration)
 
     def _flags_to_episodes(self, trajectory: RawTrajectory, flags: List[bool]) -> List[Episode]:
         """Convert the per-point stop flags to maximal contiguous episodes."""
-        episodes: List[Episode] = []
-        n = len(flags)
-        start = 0
-        for index in range(1, n + 1):
-            if index == n or flags[index] != flags[start]:
-                kind = EpisodeKind.STOP if flags[start] else EpisodeKind.MOVE
-                episodes.append(Episode(kind, trajectory, start, index))
-                start = index
-        return episodes
+        return flags_to_episodes(trajectory, flags)
 
     def _absorb_short_moves(
         self, trajectory: RawTrajectory, episodes: List[Episode]
     ) -> List[Episode]:
-        """Merge move episodes shorter than ``min_move_points`` into neighbours.
-
-        Very short moves sandwiched between stops are GPS jitter, not real
-        movement; they are merged with the preceding episode (or the following
-        one when they are first).  Adjacent episodes of the same kind produced
-        by the merge are then coalesced.
-        """
-        min_points = self._config.min_move_points
-        if min_points <= 1 or len(episodes) <= 1:
-            return episodes
-
-        kinds: List[EpisodeKind] = []
-        ranges: List[List[int]] = []
-        for episode in episodes:
-            kinds.append(episode.kind)
-            ranges.append([episode.start_index, episode.end_index])
-
-        # Demote short moves to the kind of their previous neighbour.
-        for index in range(len(kinds)):
-            is_short_move = (
-                kinds[index] is EpisodeKind.MOVE
-                and (ranges[index][1] - ranges[index][0]) < min_points
-            )
-            if not is_short_move:
-                continue
-            if index > 0:
-                kinds[index] = kinds[index - 1]
-            elif index + 1 < len(kinds):
-                kinds[index] = kinds[index + 1]
-
-        # Coalesce adjacent episodes of equal kind.
-        merged: List[Episode] = []
-        current_kind = kinds[0]
-        current_start, current_end = ranges[0]
-        for kind, (start, end) in zip(kinds[1:], ranges[1:]):
-            if kind is current_kind:
-                current_end = end
-            else:
-                merged.append(Episode(current_kind, trajectory, current_start, current_end))
-                current_kind = kind
-                current_start, current_end = start, end
-        merged.append(Episode(current_kind, trajectory, current_start, current_end))
-        return merged
+        """Merge move episodes shorter than ``min_move_points`` into neighbours."""
+        return absorb_short_moves(trajectory, episodes, self._config.min_move_points)
 
 
 def segment_many(

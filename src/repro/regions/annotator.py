@@ -101,20 +101,29 @@ class RegionAnnotator:
             object_id=trajectory.object_id,
         )
         for episode in sorted(episodes, key=lambda ep: ep.start_index):
-            region = self._region_for_episode(episode)
-            annotations = [region_annotation(region)] if region is not None else []
-            record = SemanticEpisodeRecord(
-                place=region,
-                time_in=episode.time_in,
-                time_out=episode.time_out,
-                kind=episode.kind,
-                annotations=annotations,
-                source_episode=episode,
-            )
-            if region is not None:
-                episode.add_annotation(region_annotation(region))
-            result.append(record)
+            result.append(self.annotate_episode(episode))
         return result
+
+    def annotate_episode(self, episode: Episode) -> SemanticEpisodeRecord:
+        """Annotate a single episode with its region (one tuple of ``T_region``).
+
+        Attaches the region annotation to the episode and returns the
+        corresponding structured record; the streaming engine calls this for
+        every episode as soon as it is sealed.
+        """
+        region = self._region_for_episode(episode)
+        annotations = [region_annotation(region)] if region is not None else []
+        record = SemanticEpisodeRecord(
+            place=region,
+            time_in=episode.time_in,
+            time_out=episode.time_out,
+            kind=episode.kind,
+            annotations=annotations,
+            source_episode=episode,
+        )
+        if region is not None:
+            episode.add_annotation(region_annotation(region))
+        return record
 
     def _region_for_episode(self, episode: Episode) -> Optional[RegionOfInterest]:
         if episode.is_stop and self._config.use_episode_center_for_stops:

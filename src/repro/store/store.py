@@ -41,7 +41,11 @@ class SemanticTrajectoryStore:
 
     # ------------------------------------------------------------------ writes
     def save_trajectory(self, trajectory: RawTrajectory, store_points: bool = True) -> None:
-        """Persist a raw trajectory (and optionally all of its GPS records)."""
+        """Persist a raw trajectory (and optionally all of its GPS records).
+
+        The trajectory row and all of its GPS records are written in a single
+        transaction, with the records inserted through one ``executemany``.
+        """
         cursor = self._connection.cursor()
         try:
             cursor.execute(
@@ -56,78 +60,108 @@ class SemanticTrajectoryStore:
                     trajectory.length(),
                 ),
             )
+            if store_points:
+                cursor.executemany(
+                    "INSERT INTO gps_records (trajectory_id, seq, x, y, t) VALUES (?, ?, ?, ?, ?)",
+                    (
+                        (trajectory.trajectory_id, index, point.x, point.y, point.t)
+                        for index, point in enumerate(trajectory)
+                    ),
+                )
         except sqlite3.IntegrityError as error:
+            self._connection.rollback()
             raise StoreError(
                 f"trajectory {trajectory.trajectory_id!r} is already stored"
             ) from error
-        if store_points:
-            cursor.executemany(
-                "INSERT INTO gps_records (trajectory_id, seq, x, y, t) VALUES (?, ?, ?, ?, ?)",
-                (
-                    (trajectory.trajectory_id, index, point.x, point.y, point.t)
-                    for index, point in enumerate(trajectory)
-                ),
-            )
+        except sqlite3.Error:
+            self._connection.rollback()
+            raise
         self._connection.commit()
 
     def save_episode(self, episode: Episode) -> int:
-        """Persist one episode; returns its store identifier."""
-        center = episode.center()
-        cursor = self._connection.execute(
-            "INSERT INTO episodes (trajectory_id, kind, start_index, end_index, time_in, "
-            "time_out, center_x, center_y) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                episode.trajectory.trajectory_id,
-                episode.kind.value,
-                episode.start_index,
-                episode.end_index,
-                episode.time_in,
-                episode.time_out,
-                center.x,
-                center.y,
-            ),
-        )
-        episode_id = int(cursor.lastrowid)
-        if episode.annotations:
-            self.save_annotations(episode_id, episode.annotations)
-        self._connection.commit()
-        return episode_id
+        """Persist one episode (and its annotations); returns its store identifier."""
+        return self.save_episodes([episode])[0]
 
     def save_episodes(self, episodes: Iterable[Episode]) -> List[int]:
-        """Persist several episodes; returns their store identifiers."""
-        return [self.save_episode(episode) for episode in episodes]
+        """Persist several episodes and their annotations; returns their identifiers.
+
+        All episode rows plus a single batched ``executemany`` for every
+        attached annotation go into one transaction — the write shape the
+        streaming engine relies on for per-trajectory persistence throughput.
+        """
+        cursor = self._connection.cursor()
+        episode_ids: List[int] = []
+        annotation_rows: List[Tuple] = []
+        try:
+            for episode in episodes:
+                center = episode.center()
+                cursor.execute(
+                    "INSERT INTO episodes (trajectory_id, kind, start_index, end_index, time_in, "
+                    "time_out, center_x, center_y) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        episode.trajectory.trajectory_id,
+                        episode.kind.value,
+                        episode.start_index,
+                        episode.end_index,
+                        episode.time_in,
+                        episode.time_out,
+                        center.x,
+                        center.y,
+                    ),
+                )
+                episode_id = int(cursor.lastrowid)
+                episode_ids.append(episode_id)
+                annotation_rows.extend(
+                    self._annotation_row(episode_id, annotation)
+                    for annotation in episode.annotations
+                )
+            if annotation_rows:
+                cursor.executemany(
+                    "INSERT INTO annotations (episode_id, kind, place_id, category, label, "
+                    "value, confidence) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    annotation_rows,
+                )
+        except sqlite3.Error:
+            self._connection.rollback()
+            raise
+        self._connection.commit()
+        return episode_ids
 
     def save_annotations(self, episode_id: int, annotations: Sequence[Annotation]) -> None:
-        """Persist annotations for an already-stored episode."""
-        rows: List[Tuple] = []
-        for annotation in annotations:
-            place_id = None
-            category = None
-            label = None
-            value = None
-            if isinstance(annotation, GeographicReferenceAnnotation):
-                place_id = annotation.place_id
-                category = annotation.category
-            elif isinstance(annotation, ValueAnnotation):
-                label = annotation.label
-                value = str(annotation.value)
-            rows.append(
-                (
-                    episode_id,
-                    annotation.kind.value,
-                    place_id,
-                    category,
-                    label,
-                    value,
-                    annotation.confidence,
-                )
+        """Persist annotations for an already-stored episode (one transaction)."""
+        rows = [self._annotation_row(episode_id, annotation) for annotation in annotations]
+        try:
+            self._connection.executemany(
+                "INSERT INTO annotations (episode_id, kind, place_id, category, label, value, "
+                "confidence) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                rows,
             )
-        self._connection.executemany(
-            "INSERT INTO annotations (episode_id, kind, place_id, category, label, value, "
-            "confidence) VALUES (?, ?, ?, ?, ?, ?, ?)",
-            rows,
-        )
+        except sqlite3.Error:
+            self._connection.rollback()
+            raise
         self._connection.commit()
+
+    @staticmethod
+    def _annotation_row(episode_id: int, annotation: Annotation) -> Tuple:
+        place_id = None
+        category = None
+        label = None
+        value = None
+        if isinstance(annotation, GeographicReferenceAnnotation):
+            place_id = annotation.place_id
+            category = annotation.category
+        elif isinstance(annotation, ValueAnnotation):
+            label = annotation.label
+            value = str(annotation.value)
+        return (
+            episode_id,
+            annotation.kind.value,
+            place_id,
+            category,
+            label,
+            value,
+            annotation.confidence,
+        )
 
     # ------------------------------------------------------------------- reads
     def trajectory_count(self) -> int:

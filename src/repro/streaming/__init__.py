@@ -1,0 +1,46 @@
+"""Streaming annotation subsystem: SeMiTri over live GPS event streams.
+
+The batch pipeline of Figure 2 assumes complete trajectories; this package
+annotates them *as points arrive* while provably reproducing the batch
+results on the same stream:
+
+* :class:`~repro.streaming.cleaning.StreamingGpsCleaner` — online outlier
+  removal and smoothing with bounded lookahead;
+* :class:`~repro.streaming.stops.IncrementalStopMoveDetector` — emits stop
+  and move episodes the moment no future point can change them;
+* :class:`~repro.streaming.matching.WindowedMapMatcher` — Algorithm 2 over a
+  sliding context window, emitting matches once their kernel window is fully
+  observed;
+* :class:`~repro.streaming.session.SessionManager` /
+  :class:`~repro.streaming.session.Session` — per-object mutable state with
+  gap-based trajectory close-out and LRU eviction;
+* :class:`~repro.streaming.engine.StreamingAnnotationEngine` — the façade
+  micro-batching events, routing sealed episodes to the annotation layers
+  and persisting incrementally through the semantic trajectory store.
+"""
+
+from repro.streaming.cleaning import StreamingGpsCleaner, clean_stream
+from repro.streaming.engine import EngineStats, StreamingAnnotationEngine
+from repro.streaming.matching import WindowedMapMatcher
+from repro.streaming.session import (
+    OpenTrajectory,
+    SealedTrajectory,
+    Session,
+    SessionManager,
+    SessionUpdate,
+)
+from repro.streaming.stops import IncrementalStopMoveDetector
+
+__all__ = [
+    "EngineStats",
+    "IncrementalStopMoveDetector",
+    "OpenTrajectory",
+    "SealedTrajectory",
+    "Session",
+    "SessionManager",
+    "SessionUpdate",
+    "StreamingAnnotationEngine",
+    "StreamingGpsCleaner",
+    "WindowedMapMatcher",
+    "clean_stream",
+]

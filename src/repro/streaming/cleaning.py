@@ -1,0 +1,141 @@
+"""Streaming GPS cleaning with bounded lookahead.
+
+Reproduces :meth:`repro.preprocessing.cleaning.GpsCleaner.clean` over a live
+stream: outlier removal is causal (the greedy anchor filter only looks
+backwards), while the centred smoothing window needs ``window // 2`` future
+fixes before a point's smoothed position is final — so the cleaner emits
+points with that bounded lag and flushes the tail on :meth:`finish`.
+
+The batch cleaner keeps the first and last fixes of the stream unsmoothed and
+leaves streams of fewer than three fixes untouched; both rules depend on
+knowing where the stream ends, which is exactly what :meth:`finish` signals.
+The emitted sequence is bit-for-bit identical to the batch
+``smooth(remove_outliers(points))`` on the same input (parity tested).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List, Sequence
+
+from repro.core.config import CleaningConfig
+from repro.core.errors import DataQualityError
+from repro.core.points import SpatioTemporalPoint
+
+
+class StreamingGpsCleaner:
+    """Online outlier removal + smoothing for one GPS stream.
+
+    Feed raw fixes with :meth:`push`, which returns the cleaned fixes that
+    became final; call :meth:`finish` at end of stream to flush the pending
+    tail.  One instance cleans exactly one stream.
+    """
+
+    def __init__(self, config: CleaningConfig = CleaningConfig()):
+        self._config = config
+        self._half = config.smoothing_window // 2
+        self._passthrough = (
+            config.smoothing_window <= 1 or config.smoothing_method == "none"
+        )
+        self._aggregate = (
+            statistics.median if config.smoothing_method == "median" else statistics.fmean
+        )
+        # Accepted (outlier-filtered) fixes not yet pruned; _base is the
+        # stream index of _accepted[0].  The outlier anchor is kept separately
+        # because pruning may drop the last accepted fix from the buffer.
+        self._accepted: List[SpatioTemporalPoint] = []
+        self._anchor: SpatioTemporalPoint = None  # type: ignore[assignment]
+        self._base = 0
+        self._count = 0
+        self._emitted = 0
+        self._finished = False
+
+    @property
+    def config(self) -> CleaningConfig:
+        """The active cleaning configuration."""
+        return self._config
+
+    @property
+    def pending_count(self) -> int:
+        """Accepted fixes whose smoothed position is not yet final."""
+        return self._count - self._emitted
+
+    # ------------------------------------------------------------------ feed
+    def push(self, point: SpatioTemporalPoint) -> List[SpatioTemporalPoint]:
+        """Feed one raw fix; returns the cleaned fixes finalized by it."""
+        if self._finished:
+            raise DataQualityError("cannot push into a finished cleaning stream")
+        if not self._accept(point):
+            return []
+        return self._drain(closed=False)
+
+    def finish(self) -> List[SpatioTemporalPoint]:
+        """Signal end of stream and flush the remaining cleaned fixes."""
+        if self._finished:
+            return []
+        self._finished = True
+        return self._drain(closed=True)
+
+    # ------------------------------------------------------------- internals
+    def _accept(self, point: SpatioTemporalPoint) -> bool:
+        """The greedy outlier filter of :meth:`GpsCleaner.remove_outliers`."""
+        if self._count > 0:
+            dt = point.t - self._anchor.t
+            if dt < 0:
+                raise DataQualityError("GPS stream timestamps must be non-decreasing")
+            if dt == 0:
+                return False
+            if self._anchor.distance_to(point) / dt > self._config.max_speed:
+                return False
+        self._anchor = point
+        self._accepted.append(point)
+        self._count += 1
+        return True
+
+    def _drain(self, closed: bool) -> List[SpatioTemporalPoint]:
+        emitted: List[SpatioTemporalPoint] = []
+        n = self._count
+        while self._emitted < n:
+            index = self._emitted
+            if self._passthrough or (closed and n < 3):
+                emitted.append(self._point_at(index))
+            elif index == 0 or (closed and index == n - 1):
+                # Stream endpoints keep their original position.
+                emitted.append(self._point_at(index))
+            elif index + self._half < n or closed:
+                emitted.append(self._smoothed(index, n))
+            else:
+                break  # needs more lookahead
+            self._emitted += 1
+        self._prune()
+        return emitted
+
+    def _smoothed(self, index: int, n: int) -> SpatioTemporalPoint:
+        lo = max(0, index - self._half)
+        hi = min(n, index + self._half + 1)
+        xs = [self._point_at(i).x for i in range(lo, hi)]
+        ys = [self._point_at(i).y for i in range(lo, hi)]
+        original = self._point_at(index)
+        return SpatioTemporalPoint(self._aggregate(xs), self._aggregate(ys), original.t)
+
+    def _point_at(self, index: int) -> SpatioTemporalPoint:
+        return self._accepted[index - self._base]
+
+    def _prune(self) -> None:
+        """Drop accepted fixes no future smoothing window can reference."""
+        keep_from = max(0, self._emitted - self._half)
+        if keep_from > self._base:
+            del self._accepted[: keep_from - self._base]
+            self._base = keep_from
+
+
+def clean_stream(
+    points: Sequence[SpatioTemporalPoint], config: CleaningConfig = CleaningConfig()
+) -> List[SpatioTemporalPoint]:
+    """Convenience helper: stream every point through a fresh cleaner."""
+    cleaner = StreamingGpsCleaner(config)
+    cleaned: List[SpatioTemporalPoint] = []
+    for point in points:
+        cleaned.extend(cleaner.push(point))
+    cleaned.extend(cleaner.finish())
+    return cleaned

@@ -1,0 +1,244 @@
+"""Incremental stop/move detection over a growing trajectory.
+
+:class:`IncrementalStopMoveDetector` watches an open trajectory buffer and
+emits episodes as soon as they are *sealed* — i.e. no future GPS point can
+change their kind or boundaries — while guaranteeing that the concatenation of
+everything it emits equals :meth:`StopMoveDetector.segment` on the final
+buffer (parity tested on every seed dataset).
+
+Why sealing is sound
+--------------------
+All volatility introduced by a new point is confined to a suffix of the
+buffer:
+
+* **velocity flags** — ``speeds[i]`` is the speed from point ``i`` to
+  ``i + 1`` and the last point repeats its predecessor's value, so only the
+  flag of the current last point can change when the next fix arrives;
+* **density flags** — the seed-and-expand scan is final for every run that
+  was terminated by a radius violation; only the first tried seed whose
+  expansion was cut short by the end of the buffer (the *frontier* returned
+  by :func:`~repro.preprocessing.stops.expand_density_flags`) can still grow
+  and flip flags from that seed onwards;
+* **minimum stop duration** — demotion operates on maximal runs of equal raw
+  flags, and a volatile flag may later flip to the value of the run ending
+  just before it (extending that run and changing its duration), so the
+  volatile suffix is extended backwards to the start of the run containing
+  the last fixed flag — every earlier run ends at a boundary between two
+  fixed, differing flags and is final;
+* **short-move absorption** — a volatile trailing episode may still merge
+  *backwards* into its immediate predecessor (a short move absorbed into the
+  preceding stop can later re-emerge as a real move), so the predecessor of
+  the first volatile episode is withheld as well.  It cannot cascade
+  further: that predecessor's kind is fixed and differs from its own
+  predecessor's kind, so no second merge is possible.
+
+Hence everything strictly before the *predecessor of the episode containing
+the first volatile flag* is sealed.  The sealed frontier always falls on a
+boundary between two permanently fixed raw flags, so each advance re-refines
+only the suffix past it; finalization delegates to the batch detector and
+verifies that everything emitted is a prefix of the full segmentation, so
+any divergence fails fast instead of silently corrupting downstream
+annotations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import StopMoveConfig
+from repro.core.episodes import Episode, EpisodeKind
+from repro.core.errors import DataQualityError
+from repro.core.points import RawTrajectory
+from repro.preprocessing.stops import (
+    StopMoveDetector,
+    absorb_short_moves,
+    enforce_min_duration,
+    expand_density_flags,
+)
+
+
+class IncrementalStopMoveDetector:
+    """Emits finalized stop/move episodes while its trajectory still grows.
+
+    The detector is bound to one trajectory buffer (typically an
+    :class:`~repro.streaming.session.OpenTrajectory` that the session appends
+    to); call :meth:`advance` after appending points to collect the newly
+    sealed episodes and :meth:`finalize` once the trajectory is complete to
+    collect the remaining tail.
+    """
+
+    def __init__(self, trajectory: RawTrajectory, config: StopMoveConfig = StopMoveConfig()):
+        self._trajectory = trajectory
+        self._config = config
+        self._batch = StopMoveDetector(config)
+        # Incrementally maintained state: pairwise speeds (speed between
+        # point i and i+1), per-policy flags, the combined raw flags and the
+        # density resumption frontier.
+        self._pair_speeds: List[float] = []
+        self._velocity_flags: List[bool] = []
+        self._density_flags: List[bool] = []
+        self._combined: List[bool] = []
+        self._density_frontier = 0
+        self._sealed: List[Episode] = []
+        self._finalized = False
+
+    @property
+    def trajectory(self) -> RawTrajectory:
+        """The trajectory buffer the detector is bound to."""
+        return self._trajectory
+
+    @property
+    def config(self) -> StopMoveConfig:
+        """The active stop/move configuration."""
+        return self._config
+
+    @property
+    def sealed_episodes(self) -> List[Episode]:
+        """Episodes emitted so far, in trajectory order."""
+        return list(self._sealed)
+
+    # ------------------------------------------------------------------ feed
+    def advance(self) -> List[Episode]:
+        """Process points appended since the last call; returns newly sealed episodes.
+
+        Everything before the sealed frontier is final, so only the suffix
+        past it is re-refined: the sealed frontier always falls on a raw-flag
+        boundary between two permanently fixed flags, which makes restarting
+        the min-duration and absorption passes there exact.  Per call the
+        work is bounded by the open (unsealed) region, not the whole buffer.
+        """
+        if self._finalized:
+            raise DataQualityError("cannot advance a finalized detector")
+        n = len(self._trajectory)
+        if n < 2:
+            return []
+        self._update_flags(n)
+        flags = self._combined
+        volatile = self._volatile_start(n)
+        # Extend the volatile suffix back to the start of the raw-flag run
+        # containing the last *fixed* flag: a volatile flag may later flip to
+        # that run's value and extend it, changing its min-duration demotion,
+        # so the whole preceding run is volatile too.  The run before that one
+        # ends at a boundary between two fixed, differing flags and is final.
+        if volatile > 0:
+            value = flags[volatile - 1]
+            volatile -= 1
+            while volatile > 0 and flags[volatile - 1] == value:
+                volatile -= 1
+        restart = self._sealed[-1].end_index if self._sealed else 0
+        if volatile < restart:
+            raise DataQualityError("volatile region receded into the sealed prefix")
+        points = self._trajectory.points
+        enforced = enforce_min_duration(
+            points[restart:], flags[restart:], self._config.min_stop_duration
+        )
+        suffix = absorb_short_moves(
+            self._trajectory,
+            self._suffix_episodes(enforced, restart),
+            self._config.min_move_points,
+            previous_kind=self._sealed[-1].kind if self._sealed else None,
+        )
+        # First episode reaching into the volatile suffix, minus one more for
+        # the backward-merge hazard of short-move absorption.
+        first_volatile = len(suffix)
+        for index, episode in enumerate(suffix):
+            if episode.end_index > volatile:
+                first_volatile = index
+                break
+        new_episodes = suffix[: max(0, first_volatile - 1)]
+        if new_episodes and new_episodes[0].start_index != restart:
+            raise DataQualityError("incremental stop/move sealing diverged from batch")
+        self._sealed.extend(new_episodes)
+        return new_episodes
+
+    def finalize(self) -> List[Episode]:
+        """Segment the completed trajectory; returns the episodes after the sealed prefix.
+
+        Delegates to :meth:`StopMoveDetector.segment` so the full episode list
+        (sealed prefix + returned tail) is exactly the batch segmentation,
+        including its partition validation and single-point special case.
+        """
+        if self._finalized:
+            raise DataQualityError("detector is already finalized")
+        self._finalized = True
+        episodes = self._batch.segment(self._trajectory)
+        self._check_prefix(episodes)
+        tail = episodes[len(self._sealed) :]
+        self._sealed.extend(tail)
+        return tail
+
+    # ------------------------------------------------------------- internals
+    def _update_flags(self, n: int) -> None:
+        """Refresh the per-policy and combined flags for the grown buffer.
+
+        Only the changeable region is recomputed: velocity flags from the old
+        last point (whose speed was a repeat) and density flags from the
+        resumption frontier.
+        """
+        policy = self._config.policy
+        old_n = len(self._combined)
+        changed_from = max(0, old_n - 1)
+        if policy in ("velocity", "hybrid"):
+            self._extend_pair_speeds(n)
+            threshold = self._config.speed_threshold
+            del self._velocity_flags[max(0, old_n - 1) :]
+            for index in range(max(0, old_n - 1), n):
+                self._velocity_flags.append(self._pair_speeds[min(index, n - 2)] < threshold)
+        if policy in ("density", "hybrid"):
+            old_frontier = self._density_frontier
+            changed_from = min(changed_from, old_frontier)
+            self._density_flags.extend([False] * (n - len(self._density_flags)))
+            self._density_frontier = expand_density_flags(
+                self._trajectory.points,
+                self._config.density_radius,
+                self._config.min_stop_duration,
+                self._density_flags,
+                start=old_frontier,
+            )
+        del self._combined[changed_from:]
+        for index in range(changed_from, n):
+            if policy == "velocity":
+                flag = self._velocity_flags[index]
+            elif policy == "density":
+                flag = self._density_flags[index]
+            else:
+                flag = self._velocity_flags[index] or self._density_flags[index]
+            self._combined.append(flag)
+
+    def _suffix_episodes(self, enforced: List[bool], restart: int) -> List[Episode]:
+        """Maximal contiguous episodes of the enforced-flag suffix, with global indices."""
+        episodes: List[Episode] = []
+        n = len(enforced)
+        start = 0
+        for index in range(1, n + 1):
+            if index == n or enforced[index] != enforced[start]:
+                kind = EpisodeKind.STOP if enforced[start] else EpisodeKind.MOVE
+                episodes.append(Episode(kind, self._trajectory, restart + start, restart + index))
+                start = index
+        return episodes
+
+    def _extend_pair_speeds(self, n: int) -> None:
+        """Maintain ``speeds[i]`` between points ``i`` and ``i + 1`` (length ``n - 1``)."""
+        points = self._trajectory.points
+        for index in range(len(self._pair_speeds), n - 1):
+            dt = points[index + 1].t - points[index].t
+            distance = points[index].distance_to(points[index + 1])
+            self._pair_speeds.append(distance / dt if dt > 0 else 0.0)
+
+    def _volatile_start(self, n: int) -> int:
+        """First point index whose raw flag may still change with future points."""
+        if self._config.policy == "velocity":
+            return n - 1
+        return min(self._density_frontier, n - 1)
+
+    def _check_prefix(self, episodes: List[Episode]) -> None:
+        """Verify already-emitted episodes are a prefix of the current segmentation."""
+        if len(episodes) < len(self._sealed):
+            raise DataQualityError("incremental stop/move sealing diverged from batch")
+        for emitted, current in zip(self._sealed, episodes):
+            if (
+                emitted.kind is not current.kind
+                or emitted.start_index != current.start_index
+                or emitted.end_index != current.end_index
+            ):
+                raise DataQualityError("incremental stop/move sealing diverged from batch")

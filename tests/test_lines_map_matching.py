@@ -33,18 +33,18 @@ def _track_along(y: float, jitter: float = 0.0, count: int = 20):
 class TestLocalScores:
     def test_closest_segment_scores_one(self, parallel_roads):
         matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=100))
-        scores = matcher._local_scores(SpatioTemporalPoint(100, 5, 0))
+        scores = matcher.local_scores(SpatioTemporalPoint(100, 5, 0))
         assert scores["south"][0] == pytest.approx(1.0)
         assert scores["north"][0] < 1.0
 
     def test_no_candidates_outside_radius(self, parallel_roads):
         matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=30))
-        scores = matcher._local_scores(SpatioTemporalPoint(100, 500, 0))
+        scores = matcher.local_scores(SpatioTemporalPoint(100, 500, 0))
         assert scores == {}
 
     def test_point_on_segment_scores_one(self, parallel_roads):
         matcher = GlobalMapMatcher(parallel_roads, MapMatchingConfig(candidate_radius=100))
-        scores = matcher._local_scores(SpatioTemporalPoint(100, 0, 0))
+        scores = matcher.local_scores(SpatioTemporalPoint(100, 0, 0))
         assert scores["south"][0] == pytest.approx(1.0)
 
 

@@ -1,0 +1,94 @@
+"""Streaming GPS cleaner: exact parity with the batch cleaner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CleaningConfig
+from repro.core.errors import DataQualityError
+from repro.core.points import SpatioTemporalPoint
+from repro.preprocessing.cleaning import GpsCleaner
+from repro.streaming import StreamingGpsCleaner, clean_stream
+
+
+def _random_stream(seed: int, n: int, outlier_rate: float = 0.1):
+    rng = np.random.default_rng(seed)
+    points = []
+    t = 0.0
+    x, y = 0.0, 0.0
+    for _ in range(n):
+        t += float(rng.uniform(1.0, 30.0))
+        x += float(rng.normal(0.0, 20.0))
+        y += float(rng.normal(0.0, 20.0))
+        if rng.random() < outlier_rate:
+            points.append(SpatioTemporalPoint(x + 50_000.0, y, t))
+        elif rng.random() < 0.05:
+            points.append(SpatioTemporalPoint(x, y, t))  # duplicate timestamp later
+        else:
+            points.append(SpatioTemporalPoint(x, y, t))
+    return points
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        CleaningConfig(),
+        CleaningConfig(smoothing_window=5, smoothing_method="mean"),
+        CleaningConfig(smoothing_window=1),
+        CleaningConfig(smoothing_method="none"),
+        CleaningConfig(max_speed=5.0, smoothing_window=7),
+    ],
+)
+def test_streaming_clean_matches_batch(config):
+    points = _random_stream(seed=3, n=300)
+    batch = GpsCleaner(config).clean(points)
+    streamed = clean_stream(points, config)
+    assert [p.as_tuple() for p in streamed] == [p.as_tuple() for p in batch]
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+def test_streaming_clean_tiny_streams(n):
+    config = CleaningConfig(smoothing_window=3)
+    points = _random_stream(seed=9, n=n, outlier_rate=0.0)
+    batch = GpsCleaner(config).clean(points)
+    streamed = clean_stream(points, config)
+    assert [p.as_tuple() for p in streamed] == [p.as_tuple() for p in batch]
+
+
+def test_duplicate_timestamps_are_dropped_like_batch():
+    config = CleaningConfig()
+    points = [
+        SpatioTemporalPoint(0, 0, 0.0),
+        SpatioTemporalPoint(5, 0, 0.0),  # duplicate timestamp
+        SpatioTemporalPoint(10, 0, 10.0),
+        SpatioTemporalPoint(20, 0, 20.0),
+    ]
+    batch = GpsCleaner(config).clean(points)
+    streamed = clean_stream(points, config)
+    assert [p.as_tuple() for p in streamed] == [p.as_tuple() for p in batch]
+
+
+def test_emission_lag_is_bounded_by_half_window():
+    config = CleaningConfig(smoothing_window=5)
+    cleaner = StreamingGpsCleaner(config)
+    for index in range(50):
+        cleaner.push(SpatioTemporalPoint(float(index), 0.0, float(index)))
+        assert cleaner.pending_count <= config.smoothing_window // 2
+    assert cleaner.finish()
+    assert cleaner.pending_count == 0
+
+
+def test_decreasing_timestamps_raise():
+    cleaner = StreamingGpsCleaner(CleaningConfig())
+    cleaner.push(SpatioTemporalPoint(0, 0, 10.0))
+    with pytest.raises(DataQualityError):
+        cleaner.push(SpatioTemporalPoint(1, 0, 5.0))
+
+
+def test_push_after_finish_raises():
+    cleaner = StreamingGpsCleaner(CleaningConfig())
+    cleaner.push(SpatioTemporalPoint(0, 0, 0.0))
+    cleaner.finish()
+    with pytest.raises(DataQualityError):
+        cleaner.push(SpatioTemporalPoint(1, 0, 1.0))

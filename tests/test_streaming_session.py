@@ -1,0 +1,160 @@
+"""Session management: gap close-out, discard rules and LRU eviction."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import PipelineConfig
+from repro.core.config import StreamingConfig, TrajectoryIdentificationConfig
+from repro.core.errors import DataQualityError
+from repro.core.points import SpatioTemporalPoint
+from repro.preprocessing.identification import TrajectoryIdentifier
+from repro.streaming import Session, SessionManager, StreamingAnnotationEngine
+from repro.core.pipeline import AnnotationSources
+
+
+def _config(**streaming_kwargs) -> PipelineConfig:
+    return dataclasses.replace(
+        PipelineConfig(),
+        identification=TrajectoryIdentificationConfig(
+            max_time_gap=600.0, max_distance_gap=1000.0, min_points=3
+        ),
+        streaming=StreamingConfig(apply_cleaning=False, **streaming_kwargs),
+    )
+
+
+def _stream_with_gaps():
+    """A stream with one time gap, one distance gap and a short tail fragment."""
+    points = []
+    t = 0.0
+    for i in range(6):  # fragment 0
+        points.append(SpatioTemporalPoint(10.0 * i, 0.0, t))
+        t += 60.0
+    t += 3600.0  # time gap
+    for i in range(5):  # fragment 1
+        points.append(SpatioTemporalPoint(100.0 + 10.0 * i, 50.0, t))
+        t += 60.0
+    points.append(SpatioTemporalPoint(9000.0, 9000.0, t + 60.0))  # distance gap, fragment 2
+    points.append(SpatioTemporalPoint(9010.0, 9000.0, t + 120.0))  # too short -> discarded
+    return points
+
+
+def test_session_splits_exactly_like_identifier():
+    config = _config()
+    points = _stream_with_gaps()
+    expected = TrajectoryIdentifier(config.identification).split(points, object_id="u1")
+
+    session = Session("u1", config, apply_cleaning=False)
+    sealed = []
+    for point in points:
+        sealed.extend(session.push(point).sealed)
+    sealed.extend(session.close().sealed)
+
+    kept = [s for s in sealed if not s.discarded]
+    assert [s.trajectory.trajectory_id for s in kept] == [t.trajectory_id for t in expected]
+    for got, want in zip(kept, expected):
+        assert [p.as_tuple() for p in got.trajectory.points] == [
+            p.as_tuple() for p in want.points
+        ]
+    assert sum(1 for s in sealed if s.discarded) == 1
+
+
+def test_short_fragments_emit_no_episodes():
+    config = _config()
+    session = Session("u1", config, apply_cleaning=False)
+    session.push(SpatioTemporalPoint(0, 0, 0.0))
+    session.push(SpatioTemporalPoint(1, 0, 60.0))
+    assert session.advance() == []  # below min_points: withheld
+    update = session.close()
+    assert len(update.sealed) == 1 and update.sealed[0].discarded
+    assert update.sealed[0].final_episodes == []
+
+
+def test_closed_session_rejects_points():
+    session = Session("u1", _config(), apply_cleaning=False)
+    session.close()
+    with pytest.raises(DataQualityError):
+        session.push(SpatioTemporalPoint(0, 0, 0.0))
+
+
+def test_manager_lru_eviction_order():
+    manager = SessionManager(_config(max_sessions=2))
+    s1, evicted = manager.acquire("a")
+    assert evicted == []
+    manager.acquire("b")
+    manager.acquire("a")  # refresh a; b is now LRU
+    _, evicted = manager.acquire("c")
+    assert [s.object_id for s in evicted] == ["b"]
+    assert set(manager.object_ids) == {"a", "c"}
+    assert manager.evicted_total == 1
+    assert manager.get("b") is None
+    assert manager.pop("a") is s1
+    assert len(manager) == 1
+
+
+def test_returning_object_gets_fresh_trajectory_ids():
+    """Numbering continues across session recreations, so ids stay unique."""
+    config = dataclasses.replace(
+        _config(micro_batch_size=1),
+        identification=TrajectoryIdentificationConfig(
+            max_time_gap=1e9, max_distance_gap=1e9, min_points=3
+        ),
+    )
+    from repro.store.store import SemanticTrajectoryStore
+
+    store = SemanticTrajectoryStore()
+    engine = StreamingAnnotationEngine(
+        AnnotationSources(), config=config, store=store, persist=True
+    )
+    ids = []
+    for round_index in range(3):
+        base = 10_000.0 * round_index
+        for i in range(5):
+            engine.ingest("u1", SpatioTemporalPoint(10.0 * i, 0.0, base + 60.0 * i))
+        for result in engine.close_object("u1"):
+            ids.append(result.trajectory.trajectory_id)
+    assert ids == ["u1-t0", "u1-t1", "u1-t2"]
+    assert store.trajectory_count() == 3
+    store.close()
+
+
+def test_failed_processing_pass_does_not_replay_absorbed_events():
+    """Events consumed before a mid-pass error must not be re-pushed later."""
+    config = _config(micro_batch_size=4)
+    engine = StreamingAnnotationEngine(AnnotationSources(), config=config)
+    engine.ingest("a", SpatioTemporalPoint(0.0, 0.0, 0.0))
+    engine.ingest("a", SpatioTemporalPoint(1.0, 0.0, 60.0))
+    engine.ingest("b", SpatioTemporalPoint(0.0, 0.0, 100.0))
+    with pytest.raises(DataQualityError):
+        # Out-of-order timestamp for b blows up mid-pass.
+        engine.ingest("b", SpatioTemporalPoint(0.0, 1.0, 50.0))
+    assert engine.pending_event_count == 0
+    # The engine stays usable and a's session kept exactly its two points.
+    results = engine.close_all()
+    assert engine.stats.events == 4
+    assert [len(r.trajectory) for r in results] == []  # both fragments too short
+
+
+def test_engine_eviction_seals_trajectories():
+    """Evicted sessions get closed and still produce results."""
+    config = dataclasses.replace(
+        _config(max_sessions=1, micro_batch_size=1),
+        identification=TrajectoryIdentificationConfig(
+            max_time_gap=1e9, max_distance_gap=1e9, min_points=3
+        ),
+    )
+    engine = StreamingAnnotationEngine(AnnotationSources(), config=config)
+    results = []
+    for i in range(5):
+        results.extend(engine.ingest("a", SpatioTemporalPoint(10.0 * i, 0.0, 60.0 * i)))
+    assert results == []
+    # A second object forces the eviction of "a".
+    for i in range(5):
+        results.extend(engine.ingest("b", SpatioTemporalPoint(0.0, 10.0 * i, 60.0 * i)))
+    assert [r.trajectory.object_id for r in results] == ["a"]
+    results.extend(engine.close_all())
+    assert [r.trajectory.object_id for r in results] == ["a", "b"]
+    assert engine.sessions_evicted == 1
+    assert engine.stats.results == 2

@@ -1,0 +1,127 @@
+"""Incremental stop/move detector: sealed episodes match the batch segmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import StopMoveConfig
+from repro.core.errors import DataQualityError
+from repro.core.points import SpatioTemporalPoint
+from repro.preprocessing.stops import StopMoveDetector
+from repro.streaming import IncrementalStopMoveDetector, OpenTrajectory
+
+
+def _walk_with_stops(seed: int, n: int):
+    """A random walk alternating dwell phases (stops) and travel phases."""
+    rng = np.random.default_rng(seed)
+    points = []
+    t = 0.0
+    x, y = 0.0, 0.0
+    moving = True
+    phase_left = int(rng.integers(10, 40))
+    for _ in range(n):
+        t += float(rng.uniform(5.0, 20.0))
+        if moving:
+            x += float(rng.normal(25.0, 10.0))
+            y += float(rng.normal(5.0, 10.0))
+        else:
+            x += float(rng.normal(0.0, 2.0))
+            y += float(rng.normal(0.0, 2.0))
+        points.append(SpatioTemporalPoint(x, y, t))
+        phase_left -= 1
+        if phase_left <= 0:
+            moving = not moving
+            phase_left = int(rng.integers(10, 40))
+    return points
+
+
+def _stream_detect(points, config, chunk: int):
+    """Feed ``points`` in chunks; return (all emitted episodes, early count)."""
+    trajectory = OpenTrajectory(points[0], object_id="o", trajectory_id="o-t0")
+    detector = IncrementalStopMoveDetector(trajectory, config)
+    emitted = []
+    since_advance = 0
+    for point in points[1:]:
+        trajectory.append(point)
+        since_advance += 1
+        if since_advance >= chunk:
+            emitted.extend(detector.advance())
+            since_advance = 0
+    early = len(emitted)
+    emitted.extend(detector.finalize())
+    return emitted, early
+
+
+@pytest.mark.parametrize("policy", ["velocity", "density", "hybrid"])
+@pytest.mark.parametrize("chunk", [1, 7])
+def test_incremental_matches_batch(policy, chunk):
+    config = StopMoveConfig(policy=policy, min_stop_duration=90.0, density_radius=40.0)
+    points = _walk_with_stops(seed=11, n=400)
+    trajectory = OpenTrajectory(points[0], object_id="o", trajectory_id="o-t0")
+    for point in points[1:]:
+        trajectory.append(point)
+    batch = StopMoveDetector(config).segment(trajectory)
+
+    emitted, early = _stream_detect(points, config, chunk)
+    assert [(e.kind, e.start_index, e.end_index) for e in emitted] == [
+        (e.kind, e.start_index, e.end_index) for e in batch
+    ]
+    # A long alternating trajectory must seal episodes before the end arrives.
+    assert early > 0
+
+
+@pytest.mark.parametrize("policy", ["velocity", "density", "hybrid"])
+def test_incremental_property_random_walks(policy):
+    """Property-style sweep over many random walks and chunk sizes."""
+    for seed in range(12):
+        config = StopMoveConfig(
+            policy=policy,
+            speed_threshold=1.2,
+            min_stop_duration=60.0,
+            density_radius=30.0,
+        )
+        points = _walk_with_stops(seed=seed, n=120)
+        trajectory = OpenTrajectory(points[0], object_id="o", trajectory_id="o-t0")
+        for point in points[1:]:
+            trajectory.append(point)
+        batch = StopMoveDetector(config).segment(trajectory)
+        emitted, _ = _stream_detect(points, config, chunk=1 + seed % 5)
+        assert [(e.kind, e.start_index, e.end_index) for e in emitted] == [
+            (e.kind, e.start_index, e.end_index) for e in batch
+        ]
+
+
+def test_single_point_trajectory_matches_batch_special_case():
+    config = StopMoveConfig()
+    trajectory = OpenTrajectory(SpatioTemporalPoint(0, 0, 0), object_id="o")
+    detector = IncrementalStopMoveDetector(trajectory, config)
+    assert detector.advance() == []
+    tail = detector.finalize()
+    assert len(tail) == 1 and tail[0].is_stop and len(tail[0]) == 1
+
+
+def test_finalize_twice_raises():
+    trajectory = OpenTrajectory(SpatioTemporalPoint(0, 0, 0), object_id="o")
+    detector = IncrementalStopMoveDetector(trajectory)
+    detector.finalize()
+    with pytest.raises(DataQualityError):
+        detector.finalize()
+    with pytest.raises(DataQualityError):
+        detector.advance()
+
+
+def test_sealed_episodes_reference_growing_trajectory():
+    """Sealed episodes stay valid while the buffer keeps growing."""
+    config = StopMoveConfig(policy="velocity", min_stop_duration=60.0)
+    points = _walk_with_stops(seed=3, n=300)
+    trajectory = OpenTrajectory(points[0], object_id="o", trajectory_id="o-t0")
+    detector = IncrementalStopMoveDetector(trajectory, config)
+    snapshots = []
+    for point in points[1:]:
+        trajectory.append(point)
+        for episode in detector.advance():
+            snapshots.append((episode, [p.as_tuple() for p in episode.points]))
+    detector.finalize()
+    for episode, snapshot in snapshots:
+        assert [p.as_tuple() for p in episode.points] == snapshot
