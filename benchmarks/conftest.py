@@ -10,6 +10,7 @@ experiment.
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -33,12 +34,21 @@ from repro.datasets import (  # noqa: E402
 )
 
 
-def save_result(name: str, text: str) -> None:
-    """Write a rendered table/series to ``results/<name>.txt`` and echo it."""
+def save_result(name: str, text: str, data: object = None) -> None:
+    """Write a rendered table/series to ``results/<name>.txt`` and echo it.
+
+    A machine-readable ``results/<name>.json`` sidecar is always written too,
+    so perf trajectories can be diffed across PRs without parsing the tables;
+    benchmarks that pass structured ``data`` (numbers, series, parameters) get
+    it embedded verbatim under the ``"data"`` key.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
-    print(f"\n{text}\n[saved to {path}]")
+    json_path = RESULTS_DIR / f"{name}.json"
+    payload = {"name": name, "text": text.splitlines(), "data": data}
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path} and {json_path}]")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,137 @@
+"""Multi-core scaling of the sharded parallel annotation runner.
+
+Annotates a scalability-style workload (many objects, full annotation stack)
+three ways — sequential ``annotate_many``, the parallel runner on the serial
+executor (isolates sharding/merge overhead) and the parallel runner on a
+4-worker process pool against one shared :class:`GeoContext` snapshot — and
+reports throughput for each.  Output equality is asserted byte-for-byte on
+every run; the >1.5x speedup criterion is asserted whenever the machine
+actually has >= 4 usable cores (on smaller runners the numbers are still
+recorded so the perf trajectory across PRs keeps its JSON trail).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List
+
+from benchmarks.conftest import save_result
+from repro.analytics.reporting import render_table
+from repro.core import PipelineConfig, SeMiTriPipeline
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.parallel import GeoContext, ParallelAnnotationRunner, canonical_bytes
+
+WORKERS = 4
+SPEEDUP_TARGET = 1.5
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def _scalability_workload(world, objects: int = 8, points_per_object: int = 600):
+    """Zig-zag drives with dwell clusters for several objects over the world core."""
+    core_min = world.config.core_min
+    trajectories: List[RawTrajectory] = []
+    for obj in range(objects):
+        points: List[SpatioTemporalPoint] = []
+        t = 0.0
+        x = core_min + 120.0 * obj
+        y = core_min + 80.0 * obj
+        for i in range(points_per_object):
+            if i % 150 < 12:  # periodic dwell: stop episodes for the point layer
+                x += 0.3
+                t += 60.0
+            else:
+                x = core_min + (x - core_min + 10.0) % 3000.0
+                y = core_min + ((i * 10.0) // 3000.0 * 400.0 + 80.0 * obj) % 3000.0
+                t += 1.0
+            points.append(SpatioTemporalPoint(x, y, t))
+        trajectories.append(
+            RawTrajectory(points, object_id=f"car{obj}", trajectory_id=f"car{obj}-t0")
+        )
+    return trajectories
+
+
+def test_parallel_scaling(benchmark, world, annotation_sources):
+    config = PipelineConfig.for_vehicles()
+    trajectories = _scalability_workload(world)
+    total_points = sum(len(t) for t in trajectories)
+    context = GeoContext.build(annotation_sources, config)
+
+    def best_of(rounds, fn):
+        """Minimum wall time over several rounds: robust to scheduler noise."""
+        best = None
+        result = None
+        for _ in range(rounds):
+            started = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None or elapsed < best else best
+        return best, result
+
+    def run():
+        measured = {}
+        measured["sequential"] = best_of(
+            3,
+            lambda: SeMiTriPipeline(config).annotate_many(
+                trajectories, annotation_sources, annotators=context.annotators
+            ),
+        )
+        serial_runner = ParallelAnnotationRunner(config=config, workers=WORKERS, executor="serial")
+        measured["serial executor"] = best_of(
+            3, lambda: serial_runner.annotate_many(trajectories, context=context)
+        )
+        with ParallelAnnotationRunner(
+            config=config, workers=WORKERS, executor="process"
+        ) as pool_runner:
+            # Warm the pool with a full-width batch so every worker is forked
+            # and primed before the timed rounds.
+            pool_runner.annotate_many(trajectories, context=context)
+            measured[f"process pool x{WORKERS}"] = best_of(
+                3, lambda: pool_runner.annotate_many(trajectories, context=context)
+            )
+        return measured
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    reference_bytes = canonical_bytes(measured["sequential"][1])
+    for mode, (_, results) in measured.items():
+        assert canonical_bytes(results) == reference_bytes, f"{mode} output diverged"
+
+    sequential_seconds = measured["sequential"][0]
+    rows = []
+    data = {"workers": WORKERS, "cores": _usable_cores(), "gps_points": total_points, "modes": {}}
+    for mode, (seconds, _) in measured.items():
+        speedup = sequential_seconds / max(seconds, 1e-9)
+        rows.append(
+            [mode, f"{seconds * 1e3:.0f}", f"{total_points / seconds:,.0f}", f"{speedup:.2f}x"]
+        )
+        data["modes"][mode] = {
+            "seconds": seconds,
+            "points_per_second": total_points / seconds,
+            "speedup_vs_sequential": speedup,
+        }
+    text = render_table(
+        ["mode", "total ms", "GPS points/s", "speedup"],
+        rows,
+        title=f"Parallel annotation scaling ({len(trajectories)} objects, {total_points:,} points)",
+    )
+    save_result("parallel_scaling", text, data=data)
+
+    pool_speedup = data["modes"][f"process pool x{WORKERS}"]["speedup_vs_sequential"]
+    # Sharding/merge overhead must stay negligible on the serial executor.
+    assert data["modes"]["serial executor"]["speedup_vs_sequential"] > 0.8
+    if _usable_cores() >= WORKERS:
+        assert pool_speedup > SPEEDUP_TARGET, (
+            f"expected >{SPEEDUP_TARGET}x at {WORKERS} workers, got {pool_speedup:.2f}x"
+        )
+    else:
+        print(
+            f"\n[only {_usable_cores()} usable core(s): recorded {pool_speedup:.2f}x, "
+            f"speedup gate needs >= {WORKERS} cores]"
+        )

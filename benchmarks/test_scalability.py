@@ -71,7 +71,16 @@ def test_scalability_region_lookup_vs_source_size(benchmark):
         rows,
         title="Scalability - region lookup vs landuse source size (Algorithm 1, O(n log m))",
     )
-    save_result("scalability_region_lookup", text)
+    save_result(
+        "scalability_region_lookup",
+        text,
+        data={
+            "queries": len(queries),
+            "series": [
+                {"regions": regions, "total_seconds": seconds} for regions, seconds in timings
+            ],
+        },
+    )
 
     smallest_regions, smallest_time = timings[0]
     largest_regions, largest_time = timings[-1]
@@ -118,7 +127,15 @@ def test_scalability_map_matching_vs_point_count(benchmark, world):
         rows,
         title="Scalability - global map matching vs trajectory length (Algorithm 2, O(n))",
     )
-    save_result("scalability_map_matching", text)
+    save_result(
+        "scalability_map_matching",
+        text,
+        data={
+            "series": [
+                {"points": length, "total_seconds": seconds} for length, seconds in timings
+            ]
+        },
+    )
 
     shortest_length, shortest_time = timings[0]
     longest_length, longest_time = timings[-1]

@@ -84,28 +84,38 @@ def test_streaming_throughput(benchmark, car_dataset, people_dataset, annotation
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
+    data = {}
     for name, base_config, trajectories in cases:
         events, stream_elapsed, latencies, stream_results, batch_elapsed, batch_count = measured[name]
         ordered = sorted(latencies)
+        p50 = _percentile(ordered, 50.0)
+        p99 = _percentile(ordered, 99.0)
         rows.append(
             [
                 name,
                 events,
                 f"{events / stream_elapsed:,.0f}",
                 f"{events / batch_elapsed:,.0f}",
-                f"{_percentile(ordered, 50.0) * 1e6:.1f}",
-                f"{_percentile(ordered, 99.0) * 1e6:.1f}",
+                f"{p50 * 1e6:.1f}",
+                f"{p99 * 1e6:.1f}",
             ]
         )
+        data[name] = {
+            "events": events,
+            "stream_events_per_s": events / stream_elapsed,
+            "batch_events_per_s": events / batch_elapsed,
+            "p50_us_per_event": p50 * 1e6,
+            "p99_us_per_event": p99 * 1e6,
+        }
         # Streaming must produce exactly the batch result count, and
         # micro-batching must keep the median ingest below the mean per-event
         # cost (most events only buffer; the pass cost lands in the tail).
         assert stream_results == batch_count
-        assert _percentile(ordered, 50.0) < stream_elapsed / events
+        assert p50 < stream_elapsed / events
 
     text = render_table(
         ["dataset", "events", "stream ev/s", "batch ev/s", "p50 us/event", "p99 us/event"],
         rows,
         title="Streaming engine throughput vs batch pipeline",
     )
-    save_result("streaming_throughput", text)
+    save_result("streaming_throughput", text, data=data)

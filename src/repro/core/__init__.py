@@ -39,6 +39,7 @@ from repro.core.points import RawTrajectory, SpatioTemporalPoint
 from repro.core.trajectory import SemanticTrajectory, StructuredSemanticTrajectory
 from repro.core.config import (
     MapMatchingConfig,
+    ParallelConfig,
     PipelineConfig,
     PointAnnotationConfig,
     RegionAnnotationConfig,
@@ -72,6 +73,7 @@ __all__ = [
     "SpatioTemporalPoint",
     "SemanticTrajectory",
     "StructuredSemanticTrajectory",
+    "ParallelConfig",
     "PipelineConfig",
     "StopMoveConfig",
     "RegionAnnotationConfig",

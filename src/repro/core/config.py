@@ -257,6 +257,39 @@ class StreamingConfig:
 
 
 @dataclass(frozen=True)
+class ParallelConfig:
+    """Parameters of the sharded parallel annotation runtime.
+
+    The runner partitions trajectories by moving object into shards, annotates
+    the shards on an executor against one immutable :class:`GeoContext`
+    snapshot and merges the results back into input order, so the output is
+    identical to the sequential pipeline regardless of these knobs.
+    """
+
+    workers: int = 1
+    """Worker processes; 1 keeps everything in-process (serial executor)."""
+
+    executor: str = "auto"
+    """``"process"`` (pool of worker processes), ``"serial"`` (in-process, for
+    tests and determinism debugging) or ``"auto"`` (process when ``workers``
+    exceeds 1, serial otherwise)."""
+
+    shards_per_worker: int = 2
+    """Shards created per worker; more shards smooth out skewed per-object
+    workloads at the cost of a little scheduling overhead."""
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        if self.executor not in ("auto", "process", "serial"):
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r}; expected 'auto', 'process' or 'serial'"
+            )
+        if self.shards_per_worker < 1:
+            raise ConfigurationError("shards_per_worker must be at least 1")
+
+
+@dataclass(frozen=True)
 class PipelineConfig:
     """Top-level configuration bundling every layer's parameters."""
 
@@ -270,6 +303,7 @@ class PipelineConfig:
     transport: TransportModeConfig = field(default_factory=TransportModeConfig)
     point: PointAnnotationConfig = field(default_factory=PointAnnotationConfig)
     streaming: StreamingConfig = field(default_factory=StreamingConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     @classmethod
     def for_vehicles(cls) -> "PipelineConfig":

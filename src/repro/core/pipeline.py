@@ -184,15 +184,35 @@ class SeMiTriPipeline:
         trajectories: Sequence[RawTrajectory],
         sources: AnnotationSources,
         persist: bool = False,
+        annotators: Optional[LayerAnnotators] = None,
     ) -> List[PipelineResult]:
         """Annotate several trajectories, reusing layer state across calls.
 
         Layer annotators are constructed once (building them involves indexing
         the sources), then applied to every trajectory; this is the batch mode
-        the experiments of Section 5 use.
+        the experiments of Section 5 use.  Passing a prebuilt ``annotators``
+        bundle (e.g. from a :class:`~repro.parallel.GeoContext` snapshot)
+        skips even that one-time construction, which is how repeated batch
+        calls and the parallel runner amortise index building across calls.
         """
-        annotators = self.build_annotators(sources)
+        if annotators is None:
+            annotators = self.build_annotators(sources)
         return [self._annotate_one(trajectory, annotators, persist) for trajectory in trajectories]
+
+    def annotate_prepared(
+        self,
+        trajectory: RawTrajectory,
+        annotators: LayerAnnotators,
+        persist: bool = False,
+    ) -> PipelineResult:
+        """Annotate one trajectory with an already-built annotator bundle.
+
+        The entry point the sharded parallel runner uses inside worker
+        processes: the bundle comes from the shared read-only
+        :class:`~repro.parallel.GeoContext` snapshot, so no per-call index
+        construction happens.
+        """
+        return self._annotate_one(trajectory, annotators, persist)
 
     def _annotate_one(
         self,

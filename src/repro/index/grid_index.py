@@ -31,6 +31,7 @@ class GridIndex:
         self._cell_size = cell_size
         self._cells: Dict[Tuple[int, int], List[Tuple[Point, Any]]] = defaultdict(list)
         self._size = 0
+        self._frozen = False
 
     @property
     def cell_size(self) -> float:
@@ -46,8 +47,26 @@ class GridIndex:
             int(math.floor(point.y / self._cell_size)),
         )
 
+    @property
+    def frozen(self) -> bool:
+        """Whether the grid has been sealed against further insertions."""
+        return self._frozen
+
+    def freeze(self) -> "GridIndex":
+        """Seal the grid: subsequent :meth:`insert` calls raise.
+
+        Freezing converts the backing ``defaultdict`` into a plain dict so a
+        stray lookup of an empty cell cannot materialise buckets — a frozen
+        grid is structurally immutable and safe to share across processes.
+        """
+        self._cells = dict(self._cells)
+        self._frozen = True
+        return self
+
     def insert(self, point: Point, item: Any) -> None:
         """Index ``item`` at ``point``."""
+        if self._frozen:
+            raise TypeError("cannot insert into a frozen GridIndex")
         self._cells[self._cell_of(point)].append((point, item))
         self._size += 1
 

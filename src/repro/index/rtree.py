@@ -84,6 +84,7 @@ class RTree:
             raise ValueError("min_entries must be at most half of max_entries")
         self._root = _Node(is_leaf=True)
         self._size = 0
+        self._frozen = False
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -126,9 +127,27 @@ class RTree:
         tree._root = level[0]
         return tree
 
+    # ----------------------------------------------------------------- freeze
+    @property
+    def frozen(self) -> bool:
+        """Whether the tree has been sealed against further insertions."""
+        return self._frozen
+
+    def freeze(self) -> "RTree":
+        """Seal the tree: subsequent :meth:`insert` calls raise.
+
+        A frozen tree is safe to share across worker processes (fork) or
+        pickle into them as part of a read-only geographic snapshot — queries
+        never mutate nodes, so concurrent readers need no locking.
+        """
+        self._frozen = True
+        return self
+
     # ----------------------------------------------------------------- insert
     def insert(self, box: BoundingBox, item: Any) -> None:
         """Insert one (box, item) pair."""
+        if self._frozen:
+            raise TypeError("cannot insert into a frozen RTree")
         entry = RTreeEntry(box=box, item=item)
         leaf = self._choose_leaf(self._root, entry.box, path=[])
         node, path = leaf

@@ -73,6 +73,11 @@ class RoadNetwork:
     def __len__(self) -> int:
         return len(self._segments)
 
+    def freeze(self) -> "RoadNetwork":
+        """Seal the network's R-tree for read-only sharing across workers."""
+        self._index.freeze()
+        return self
+
     @property
     def segments(self) -> List[LineOfInterest]:
         """All road segments."""

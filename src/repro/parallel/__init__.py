@@ -1,0 +1,44 @@
+"""Sharded parallel annotation runtime.
+
+SeMiTri annotates each moving object's trajectories independently, which
+makes per-object sharding the natural scale-out axis.  This package supplies
+the three pieces that turn the single-core batch pipeline into a multi-core
+runtime without changing a single output byte:
+
+* :class:`~repro.parallel.context.GeoContext` — an immutable snapshot of the
+  annotation sources, configuration and prebuilt layer annotators (frozen
+  R-trees, POI grid, HMM), built once and shared with workers via ``fork`` or
+  pickled once per worker;
+* :class:`~repro.parallel.runner.ParallelAnnotationRunner` — partitions a
+  trajectory batch by object id into balanced shards, annotates them on a
+  process pool (or an in-process serial executor) and merges the results back
+  into input order;
+* :class:`~repro.parallel.store_writer.ShardedStoreWriter` — buffers
+  per-shard store rows and commits the merged batch in one transaction with
+  single-writer row ordering.
+
+:mod:`repro.parallel.canonical` defines the byte-level equality the runner is
+tested against.
+"""
+
+from repro.parallel.canonical import (
+    canonical_annotation,
+    canonical_bytes,
+    canonical_episode,
+    canonical_result,
+    canonical_structured,
+)
+from repro.parallel.context import GeoContext
+from repro.parallel.runner import ParallelAnnotationRunner
+from repro.parallel.store_writer import ShardedStoreWriter
+
+__all__ = [
+    "GeoContext",
+    "ParallelAnnotationRunner",
+    "ShardedStoreWriter",
+    "canonical_annotation",
+    "canonical_bytes",
+    "canonical_episode",
+    "canonical_result",
+    "canonical_structured",
+]

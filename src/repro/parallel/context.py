@@ -1,0 +1,79 @@
+"""Immutable geographic context snapshot shared by annotation workers.
+
+Every annotation layer leans on a prebuilt spatial structure — the region
+R-tree, the road-network R-tree, the POI grid and the HMM observation model —
+and building them is the expensive part of :meth:`LayerAnnotators.build`.
+:class:`GeoContext` captures all of it **once**: the annotation sources, the
+pipeline configuration and the annotator bundle constructed from them, with
+every underlying index frozen so the snapshot is genuinely read-only.
+
+A frozen snapshot can be shared with worker processes for free under ``fork``
+(copy-on-write pages are never written) or pickled exactly once per worker
+under ``spawn``; either way each worker annotates against the same indexes
+instead of rebuilding them per call, which is what turns per-user sharding
+into a real scale-out axis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AnnotationSources, LayerAnnotators
+from repro.streaming.matching import WindowedMapMatcher
+
+
+class GeoContext:
+    """A read-only bundle of sources, configuration and prebuilt annotators."""
+
+    def __init__(
+        self,
+        sources: AnnotationSources,
+        config: PipelineConfig = PipelineConfig(),
+        annotators: Optional[LayerAnnotators] = None,
+    ):
+        self._sources = sources
+        self._config = config
+        self._annotators = (
+            annotators if annotators is not None else LayerAnnotators.build(sources, config)
+        )
+        for source in (sources.regions, sources.road_network, sources.pois):
+            if source is not None:
+                source.freeze()
+
+    @classmethod
+    def build(cls, sources: AnnotationSources, config: PipelineConfig = PipelineConfig()) -> "GeoContext":
+        """Construct (and freeze) a snapshot for the given sources and config."""
+        return cls(sources, config)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def sources(self) -> AnnotationSources:
+        """The annotation sources the snapshot was built from."""
+        return self._sources
+
+    @property
+    def config(self) -> PipelineConfig:
+        """The pipeline configuration baked into the snapshot."""
+        return self._config
+
+    @property
+    def annotators(self) -> LayerAnnotators:
+        """The prebuilt layer annotators (indexes, observation model, HMM)."""
+        return self._annotators
+
+    def available_layers(self) -> List[str]:
+        """Names of the annotation layers the snapshot can run."""
+        return self._sources.available_layers()
+
+    # -------------------------------------------------------------- factories
+    def windowed_matcher(self) -> Optional[WindowedMapMatcher]:
+        """A fresh streaming map matcher over the shared road-network index.
+
+        The matcher itself is stateful per episode, so every consumer (each
+        streaming engine, each session) gets its own; the expensive part — the
+        road network R-tree — stays shared and frozen.
+        """
+        if self._sources.road_network is None:
+            return None
+        return WindowedMapMatcher(self._sources.road_network, self._config.map_matching)

@@ -1,0 +1,314 @@
+"""Sharded parallel annotation over a shared read-only geographic snapshot.
+
+The pipeline annotates each moving object's trajectories independently, so
+per-object sharding is the natural scale-out axis: the runner partitions a
+batch of raw trajectories by ``object_id`` into shards, annotates every shard
+on an executor — a process pool for real parallelism or an in-process serial
+executor for tests and debugging — against one immutable
+:class:`~repro.parallel.context.GeoContext`, and merges the per-shard results
+back into input order.  The merge is a pure reordering, so the output is
+byte-identical (see :mod:`repro.parallel.canonical`) to sequential
+:meth:`~repro.core.pipeline.SeMiTriPipeline.annotate_many` regardless of
+worker count, executor choice or shard completion order.
+
+Persistence goes through a :class:`~repro.parallel.store_writer.ShardedStoreWriter`:
+workers never touch the store, the merged batch is committed by the parent in
+one transaction with the same row order a single writer would produce.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+import sys
+import weakref
+
+from repro.core.config import ParallelConfig, PipelineConfig
+from repro.core.errors import ConfigurationError
+from repro.core.pipeline import AnnotationSources, PipelineResult, SeMiTriPipeline
+from repro.core.points import RawTrajectory
+from repro.parallel.context import GeoContext
+from repro.parallel.store_writer import ShardedStoreWriter
+from repro.store.store import SemanticTrajectoryStore
+
+# One shard of work: (shard index, [(input order, trajectory), ...]).
+_Shard = Tuple[int, List[Tuple[int, RawTrajectory]]]
+
+# Worker-process state, set once by the pool initializer.  Under the ``fork``
+# start method the snapshot travels to the children as inherited copy-on-write
+# memory (the ``_FORK_CONTEXTS`` registry, keyed per pool so concurrent
+# runners cannot cross-contaminate lazily-forked workers); under ``spawn`` it
+# is pickled once per worker through the initializer arguments.
+_FORK_CONTEXTS: Dict[int, GeoContext] = {}
+_FORK_TOKENS = iter(range(1, 2**62))
+_WORKER_PIPELINE: Optional[SeMiTriPipeline] = None
+_WORKER_CONTEXT: Optional[GeoContext] = None
+
+
+def _init_worker(token: Optional[int], pickled_context: Optional[GeoContext]) -> None:
+    global _WORKER_CONTEXT, _WORKER_PIPELINE
+    context = _FORK_CONTEXTS.get(token) if token is not None else None
+    if context is None:
+        context = pickled_context
+    assert context is not None, "worker started without a GeoContext"
+    _WORKER_CONTEXT = context
+    _WORKER_PIPELINE = SeMiTriPipeline(context.config)
+
+
+def _release_pool_resources(pool: ProcessPoolExecutor, fork_token: Optional[int]) -> None:
+    """Tear down a runner's pool and fork-registry entry (close() or GC)."""
+    if fork_token is not None:
+        _FORK_CONTEXTS.pop(fork_token, None)
+    pool.shutdown(wait=False)
+
+
+def _annotate_shard(shard: _Shard) -> Tuple[int, List[Tuple[int, PipelineResult]]]:
+    """Annotate one shard inside a worker process (never persists)."""
+    shard_index, items = shard
+    assert _WORKER_CONTEXT is not None and _WORKER_PIPELINE is not None
+    annotators = _WORKER_CONTEXT.annotators
+    return shard_index, [
+        (order, _WORKER_PIPELINE.annotate_prepared(trajectory, annotators))
+        for order, trajectory in items
+    ]
+
+
+class ParallelAnnotationRunner:
+    """Annotates trajectory batches across worker processes, deterministically.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration; ``config.parallel`` supplies the defaults for
+        ``workers`` and ``executor``.
+    workers:
+        Worker count override; 1 with the default executor runs in-process.
+    executor:
+        ``"process"``, ``"serial"`` or ``"auto"`` (process when more than one
+        worker is requested).
+    store:
+        Optional semantic trajectory store for ``persist=True`` calls.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig = PipelineConfig(),
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        store: Optional[SemanticTrajectoryStore] = None,
+    ):
+        parallel = config.parallel
+        if workers is not None or executor is not None:
+            # Re-validate overrides through the config dataclass itself.
+            parallel = ParallelConfig(
+                workers=parallel.workers if workers is None else int(workers),
+                executor=parallel.executor if executor is None else executor,
+                shards_per_worker=parallel.shards_per_worker,
+            )
+        self._config = config
+        self._workers = parallel.workers
+        self._executor_kind = (
+            ("process" if self._workers > 1 else "serial")
+            if parallel.executor == "auto"
+            else parallel.executor
+        )
+        self._store = store
+        self._shards_per_worker = parallel.shards_per_worker
+        self._pipeline = SeMiTriPipeline(config)
+        self._context: Optional[GeoContext] = None
+        self._context_sources: Optional[AnnotationSources] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._fork_token: Optional[int] = None
+        self._pool_finalizer: Optional[weakref.finalize] = None
+
+    # ------------------------------------------------------------- properties
+    @property
+    def workers(self) -> int:
+        """Number of workers the process executor uses."""
+        return self._workers
+
+    @property
+    def executor_kind(self) -> str:
+        """The resolved executor: ``"process"`` or ``"serial"``."""
+        return self._executor_kind
+
+    @property
+    def store(self) -> Optional[SemanticTrajectoryStore]:
+        """The semantic trajectory store, when persistence is enabled."""
+        return self._store
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()  # pops the fork registry and stops workers
+            self._pool_finalizer = None
+        self._pool = None
+        self._fork_token = None
+
+    def __enter__(self) -> "ParallelAnnotationRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- context
+    def context_for(self, sources: AnnotationSources) -> GeoContext:
+        """The cached snapshot for ``sources``, building it on first use.
+
+        The snapshot (and the worker pool primed with it) is reused across
+        ``annotate_many`` calls as long as the same sources object is passed —
+        the indexes are built exactly once per runner lifetime.
+        """
+        if self._context is None or self._context_sources is not sources:
+            self.close()  # a pool primed with the old snapshot is stale
+            self._context = GeoContext.build(sources, self._config)
+            self._context_sources = sources
+        return self._context
+
+    def use_context(self, context: GeoContext) -> "GeoContext":
+        """Adopt an externally built snapshot (e.g. shared with a streaming engine).
+
+        The snapshot's config must equal the runner's: the serial executor
+        segments with the runner's pipeline while workers rebuild theirs from
+        the snapshot, so a mismatch would make output depend on the executor.
+        """
+        if context.config != self._config:
+            raise ConfigurationError(
+                "GeoContext config conflicts with the runner's config; "
+                "build the runner and the snapshot from the same PipelineConfig"
+            )
+        if self._context is not context:
+            self.close()
+            self._context = context
+            self._context_sources = context.sources
+        return context
+
+    # ------------------------------------------------------------- annotation
+    def annotate_many(
+        self,
+        trajectories: Sequence[RawTrajectory],
+        sources: Optional[AnnotationSources] = None,
+        persist: bool = False,
+        context: Optional[GeoContext] = None,
+    ) -> List[PipelineResult]:
+        """Annotate a batch of trajectories, sharded by moving object.
+
+        Exactly one of ``sources`` / ``context`` must identify the geographic
+        data.  Results come back in input order and are byte-identical to
+        sequential :meth:`SeMiTriPipeline.annotate_many`; with ``persist=True``
+        (and a store) the merged rows are committed in input order through a
+        :class:`ShardedStoreWriter` after annotation finishes.
+        """
+        if context is not None:
+            if sources is not None and context.sources is not sources:
+                raise ConfigurationError(
+                    "sources and context disagree; pass one or the other"
+                )
+            context = self.use_context(context)
+        elif sources is not None:
+            context = self.context_for(sources)
+        else:
+            raise ConfigurationError("annotate_many needs annotation sources or a GeoContext")
+
+        trajectories = list(trajectories)
+        if not trajectories:
+            return []
+        shards = self._shard(trajectories)
+        if self._executor_kind == "serial" or len(shards) == 1:
+            shard_results = self._run_serial(context, shards)
+        else:
+            shard_results = self._run_process_pool(context, shards)
+
+        ordered: Dict[int, PipelineResult] = {}
+        writer = (
+            ShardedStoreWriter(self._store)
+            if persist and self._store is not None
+            else None
+        )
+        for shard_index, items in shard_results:
+            for order, result in items:
+                ordered[order] = result
+                if writer is not None:
+                    writer.add_result(shard_index, order, result)
+        if writer is not None:
+            writer.commit()
+        return [ordered[index] for index in range(len(trajectories))]
+
+    # -------------------------------------------------------------- internals
+    def _shard(self, trajectories: Sequence[RawTrajectory]) -> List[_Shard]:
+        """Partition by object id into balanced shards, deterministically.
+
+        Objects are assigned greedily (in first-appearance order) to the
+        currently lightest shard, measured in GPS points — deterministic for
+        a given input, and robust to skewed per-object workloads.
+        """
+        shard_count = max(1, min(self._workers * self._shards_per_worker, len(trajectories)))
+        by_object: Dict[str, List[Tuple[int, RawTrajectory]]] = {}
+        loads: Dict[str, int] = {}
+        for order, trajectory in enumerate(trajectories):
+            by_object.setdefault(trajectory.object_id, []).append((order, trajectory))
+            loads[trajectory.object_id] = loads.get(trajectory.object_id, 0) + len(trajectory)
+        shard_count = min(shard_count, len(by_object))
+        shards: List[List[Tuple[int, RawTrajectory]]] = [[] for _ in range(shard_count)]
+        shard_loads = [0] * shard_count
+        for object_id, items in by_object.items():
+            target = min(range(shard_count), key=lambda index: (shard_loads[index], index))
+            shards[target].extend(items)
+            shard_loads[target] += loads[object_id]
+        return [(index, items) for index, items in enumerate(shards) if items]
+
+    def _run_serial(
+        self, context: GeoContext, shards: List[_Shard]
+    ) -> List[Tuple[int, List[Tuple[int, PipelineResult]]]]:
+        annotators = context.annotators
+        results = []
+        for shard_index, items in shards:
+            results.append(
+                (
+                    shard_index,
+                    [
+                        (order, self._pipeline.annotate_prepared(trajectory, annotators))
+                        for order, trajectory in items
+                    ],
+                )
+            )
+        return results
+
+    def _run_process_pool(
+        self, context: GeoContext, shards: List[_Shard]
+    ) -> List[Tuple[int, List[Tuple[int, PipelineResult]]]]:
+        pool = self._ensure_pool(context)
+        return list(pool.map(_annotate_shard, shards))
+
+    def _ensure_pool(self, context: GeoContext) -> ProcessPoolExecutor:
+        if self._pool is not None:
+            return self._pool
+        # Prefer fork only where it is the safe platform default (Linux);
+        # macOS forks can crash inside frameworks the parent already loaded.
+        if sys.platform == "linux":
+            mp_context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-Linux platforms
+            mp_context = multiprocessing.get_context()
+        if mp_context.get_start_method() == "fork":
+            # Children inherit the snapshot as copy-on-write memory; the
+            # registry entry lives until close() so late worker forks see it.
+            self._fork_token = next(_FORK_TOKENS)
+            _FORK_CONTEXTS[self._fork_token] = context
+            initargs: Tuple[Optional[int], Optional[GeoContext]] = (self._fork_token, None)
+        else:  # pragma: no cover - non-POSIX platforms
+            initargs = (None, context)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=initargs,
+        )
+        # If the runner is garbage collected without close(), stop the worker
+        # processes and drop the registry entry instead of leaking both.
+        self._pool_finalizer = weakref.finalize(
+            self, _release_pool_resources, self._pool, self._fork_token
+        )
+        return self._pool

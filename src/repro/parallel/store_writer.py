@@ -1,0 +1,90 @@
+"""Buffered, shard-aware writer for the semantic trajectory store.
+
+Worker processes cannot share the store's SQLite connection, so persistence
+under the parallel runner is split in two: shards *compute* annotations and
+hand their results (in any completion order) to a :class:`ShardedStoreWriter`,
+which buffers them per shard and, on :meth:`commit`, replays everything in the
+original input order through the store's single-transaction batched
+``executemany`` path.  The committed rows — contents, order and autoincrement
+identifiers — are therefore indistinguishable from a single-writer sequential
+run, no matter how the shards interleaved.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.episodes import Episode
+from repro.core.pipeline import PipelineResult
+from repro.core.points import RawTrajectory
+from repro.store.store import SemanticTrajectoryStore
+
+
+class ShardedStoreWriter:
+    """Collects per-shard annotation results and commits them in stable order."""
+
+    def __init__(self, store: SemanticTrajectoryStore, store_points: bool = True):
+        self._store = store
+        self._store_points = store_points
+        self._lock = threading.Lock()
+        # shard index -> [(input order, trajectory, episodes)]
+        self._buffers: Dict[int, List[Tuple[int, RawTrajectory, List[Episode]]]] = {}
+        self.committed_total = 0
+
+    @property
+    def store(self) -> SemanticTrajectoryStore:
+        """The store the buffered rows will be committed to."""
+        return self._store
+
+    @property
+    def pending_count(self) -> int:
+        """Buffered trajectories not yet committed."""
+        with self._lock:
+            return sum(len(buffer) for buffer in self._buffers.values())
+
+    @property
+    def shard_indexes(self) -> List[int]:
+        """Shards with buffered rows, in ascending order."""
+        with self._lock:
+            return sorted(self._buffers)
+
+    # ------------------------------------------------------------------ feed
+    def add(
+        self,
+        shard_index: int,
+        order_index: int,
+        trajectory: RawTrajectory,
+        episodes: Sequence[Episode],
+    ) -> None:
+        """Buffer one annotated trajectory produced by ``shard_index``."""
+        with self._lock:
+            self._buffers.setdefault(shard_index, []).append(
+                (order_index, trajectory, list(episodes))
+            )
+
+    def add_result(self, shard_index: int, order_index: int, result: PipelineResult) -> None:
+        """Buffer one :class:`PipelineResult` produced by ``shard_index``."""
+        self.add(shard_index, order_index, result.trajectory, result.episodes)
+
+    # ---------------------------------------------------------------- commit
+    def commit(self) -> List[List[int]]:
+        """Write every buffered row in input order; returns episode ids per trajectory.
+
+        The merged batch goes through
+        :meth:`SemanticTrajectoryStore.save_annotated_trajectories`, i.e. one
+        transaction; on failure nothing is written and the buffers are kept so
+        the caller can retry or inspect them.
+        """
+        with self._lock:
+            merged: List[Tuple[int, RawTrajectory, List[Episode]]] = []
+            for buffer in self._buffers.values():
+                merged.extend(buffer)
+            merged.sort(key=lambda item: item[0])
+            episode_ids = self._store.save_annotated_trajectories(
+                ((trajectory, episodes) for _, trajectory, episodes in merged),
+                store_points=self._store_points,
+            )
+            self._buffers.clear()
+            self.committed_total += len(merged)
+            return episode_ids

@@ -46,6 +46,11 @@ class PoiSource:
     def __len__(self) -> int:
         return len(self._pois)
 
+    def freeze(self) -> "PoiSource":
+        """Seal the source's grid index for read-only sharing across workers."""
+        self._index.freeze()
+        return self
+
     @property
     def pois(self) -> List[PointOfInterest]:
         """All points of interest in the source."""

@@ -32,6 +32,11 @@ class RegionSource:
     def __len__(self) -> int:
         return len(self._regions)
 
+    def freeze(self) -> "RegionSource":
+        """Seal the source's R-tree for read-only sharing across workers."""
+        self._index.freeze()
+        return self
+
     @property
     def regions(self) -> List[RegionOfInterest]:
         """All regions in the source."""

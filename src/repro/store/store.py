@@ -48,26 +48,7 @@ class SemanticTrajectoryStore:
         """
         cursor = self._connection.cursor()
         try:
-            cursor.execute(
-                "INSERT INTO trajectories (trajectory_id, object_id, start_time, end_time, "
-                "point_count, path_length) VALUES (?, ?, ?, ?, ?, ?)",
-                (
-                    trajectory.trajectory_id,
-                    trajectory.object_id,
-                    trajectory.start_time,
-                    trajectory.end_time,
-                    len(trajectory),
-                    trajectory.length(),
-                ),
-            )
-            if store_points:
-                cursor.executemany(
-                    "INSERT INTO gps_records (trajectory_id, seq, x, y, t) VALUES (?, ?, ?, ?, ?)",
-                    (
-                        (trajectory.trajectory_id, index, point.x, point.y, point.t)
-                        for index, point in enumerate(trajectory)
-                    ),
-                )
+            self._write_trajectory(cursor, trajectory, store_points)
         except sqlite3.IntegrityError as error:
             self._connection.rollback()
             raise StoreError(
@@ -90,37 +71,38 @@ class SemanticTrajectoryStore:
         streaming engine relies on for per-trajectory persistence throughput.
         """
         cursor = self._connection.cursor()
-        episode_ids: List[int] = []
-        annotation_rows: List[Tuple] = []
         try:
-            for episode in episodes:
-                center = episode.center()
-                cursor.execute(
-                    "INSERT INTO episodes (trajectory_id, kind, start_index, end_index, time_in, "
-                    "time_out, center_x, center_y) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        episode.trajectory.trajectory_id,
-                        episode.kind.value,
-                        episode.start_index,
-                        episode.end_index,
-                        episode.time_in,
-                        episode.time_out,
-                        center.x,
-                        center.y,
-                    ),
-                )
-                episode_id = int(cursor.lastrowid)
-                episode_ids.append(episode_id)
-                annotation_rows.extend(
-                    self._annotation_row(episode_id, annotation)
-                    for annotation in episode.annotations
-                )
-            if annotation_rows:
-                cursor.executemany(
-                    "INSERT INTO annotations (episode_id, kind, place_id, category, label, "
-                    "value, confidence) VALUES (?, ?, ?, ?, ?, ?, ?)",
-                    annotation_rows,
-                )
+            episode_ids = self._write_episodes(cursor, episodes)
+        except sqlite3.Error:
+            self._connection.rollback()
+            raise
+        self._connection.commit()
+        return episode_ids
+
+    def save_annotated_trajectories(
+        self,
+        items: Iterable[Tuple[RawTrajectory, Sequence[Episode]]],
+        store_points: bool = True,
+    ) -> List[List[int]]:
+        """Persist several ``(trajectory, episodes)`` pairs in one transaction.
+
+        Rows are written in exactly the order the sequential pipeline produces
+        them — trajectory row, its GPS records, its episode rows, their
+        annotations, then the next trajectory — so autoincrement identifiers
+        (and therefore the full store contents) match a single-writer run.
+        This is the commit path of the sharded store writer: shards buffer
+        their results and the merged batch lands here through the same
+        ``executemany`` statements the incremental writers use, atomically.
+        """
+        cursor = self._connection.cursor()
+        episode_ids: List[List[int]] = []
+        try:
+            for trajectory, episodes in items:
+                self._write_trajectory(cursor, trajectory, store_points)
+                episode_ids.append(self._write_episodes(cursor, episodes))
+        except sqlite3.IntegrityError as error:
+            self._connection.rollback()
+            raise StoreError(f"batched write rejected: {error}") from error
         except sqlite3.Error:
             self._connection.rollback()
             raise
@@ -140,6 +122,72 @@ class SemanticTrajectoryStore:
             self._connection.rollback()
             raise
         self._connection.commit()
+
+    @staticmethod
+    def _write_trajectory(
+        cursor: sqlite3.Cursor, trajectory: RawTrajectory, store_points: bool
+    ) -> None:
+        """Write one trajectory row (and its GPS records) on an open cursor.
+
+        Shared by the incremental and batched write paths so the statements
+        (and therefore the row shapes) cannot drift apart; transaction
+        handling stays with the caller.
+        """
+        cursor.execute(
+            "INSERT INTO trajectories (trajectory_id, object_id, start_time, end_time, "
+            "point_count, path_length) VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                trajectory.trajectory_id,
+                trajectory.object_id,
+                trajectory.start_time,
+                trajectory.end_time,
+                len(trajectory),
+                trajectory.length(),
+            ),
+        )
+        if store_points:
+            cursor.executemany(
+                "INSERT INTO gps_records (trajectory_id, seq, x, y, t) VALUES (?, ?, ?, ?, ?)",
+                (
+                    (trajectory.trajectory_id, index, point.x, point.y, point.t)
+                    for index, point in enumerate(trajectory)
+                ),
+            )
+
+    @classmethod
+    def _write_episodes(cls, cursor: sqlite3.Cursor, episodes: Iterable[Episode]) -> List[int]:
+        """Write episode rows plus one batched annotation ``executemany``."""
+        episode_ids: List[int] = []
+        annotation_rows: List[Tuple] = []
+        for episode in episodes:
+            center = episode.center()
+            cursor.execute(
+                "INSERT INTO episodes (trajectory_id, kind, start_index, end_index, time_in, "
+                "time_out, center_x, center_y) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    episode.trajectory.trajectory_id,
+                    episode.kind.value,
+                    episode.start_index,
+                    episode.end_index,
+                    episode.time_in,
+                    episode.time_out,
+                    center.x,
+                    center.y,
+                ),
+            )
+            episode_id = int(cursor.lastrowid)
+            episode_ids.append(episode_id)
+            annotation_rows.extend(
+                cls._annotation_row(episode_id, annotation)
+                for annotation in episode.annotations
+            )
+        if annotation_rows:
+            cursor.executemany(
+                "INSERT INTO annotations (episode_id, kind, place_id, category, label, "
+                "value, confidence) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                annotation_rows,
+            )
+        return episode_ids
 
     @staticmethod
     def _annotation_row(episode_id: int, annotation: Annotation) -> Tuple:

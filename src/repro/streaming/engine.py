@@ -34,11 +34,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.parallel.context import GeoContext
 
 from repro.analytics.latency import StageTimer
 from repro.core.config import PipelineConfig
 from repro.core.episodes import Episode
+from repro.core.errors import ConfigurationError
 from repro.core.pipeline import AnnotationSources, LayerAnnotators, PipelineResult
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
 from repro.core.trajectory import (
@@ -78,25 +82,49 @@ class StreamingAnnotationEngine:
 
     def __init__(
         self,
-        sources: AnnotationSources,
-        config: PipelineConfig = PipelineConfig(),
+        sources: Union[AnnotationSources, "GeoContext"],
+        config: Optional[PipelineConfig] = None,
         store: Optional[SemanticTrajectoryStore] = None,
         persist: bool = False,
         on_result: Optional[Callable[[PipelineResult], None]] = None,
         on_episode: Optional[Callable[[Episode], None]] = None,
     ):
+        # A prebuilt GeoContext snapshot may stand in for the raw sources: the
+        # engine then reuses its frozen indexes and annotator bundle (and the
+        # configuration baked into them) instead of rebuilding per engine.  An
+        # explicitly passed config must match the snapshot's — the annotators
+        # were built from that config, so silently honouring a different one
+        # would split the engine's behaviour in two.
+        from repro.parallel.context import GeoContext  # deferred: avoids an import cycle
+
+        if isinstance(sources, GeoContext):
+            context = sources
+            if config is not None and config != context.config:
+                raise ConfigurationError(
+                    "config conflicts with the GeoContext snapshot's config; "
+                    "bake the desired config into the snapshot via GeoContext.build"
+                )
+            sources = context.sources
+            config = context.config
+            annotators = context.annotators
+            windowed = context.windowed_matcher()
+        else:
+            if config is None:
+                config = PipelineConfig()
+            annotators = LayerAnnotators.build(sources, config)
+            windowed = (
+                WindowedMapMatcher(sources.road_network, config.map_matching)
+                if sources.road_network is not None
+                else None
+            )
         self._config = config
         self._streaming = config.streaming
         self._store = store
         self._persist = persist and store is not None
         self._on_result = on_result
         self._on_episode = on_episode
-        self._annotators = LayerAnnotators.build(sources, config)
-        self._windowed = (
-            WindowedMapMatcher(sources.road_network, config.map_matching)
-            if sources.road_network is not None
-            else None
-        )
+        self._annotators = annotators
+        self._windowed = windowed
         self._sessions = SessionManager(config)
         self._pending: List[Tuple[str, SpatioTemporalPoint]] = []
         self._assemblies: Dict[str, _TrajectoryAssembly] = {}

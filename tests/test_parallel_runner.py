@@ -1,0 +1,142 @@
+"""Unit coverage for the parallel runtime: sharding, snapshot reuse, freezing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PipelineConfig, SeMiTriPipeline
+from repro.core.config import ParallelConfig
+from repro.core.errors import ConfigurationError
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.parallel import GeoContext, ParallelAnnotationRunner, canonical_bytes
+
+
+def _trajectories(objects: int = 5, per_object: int = 3, length: int = 6):
+    trajectories = []
+    for obj in range(objects):
+        for segment in range(per_object):
+            points = [
+                SpatioTemporalPoint(100.0 * obj + 5.0 * i, 40.0 * segment, 30.0 * i)
+                for i in range(length + obj)  # skewed: later objects are heavier
+            ]
+            trajectories.append(
+                RawTrajectory(points, object_id=f"o{obj}", trajectory_id=f"o{obj}-t{segment}")
+            )
+    return trajectories
+
+
+def test_sharding_groups_by_object_and_is_deterministic():
+    runner = ParallelAnnotationRunner(workers=2)
+    trajectories = _trajectories()
+    shards = runner._shard(trajectories)
+    again = runner._shard(trajectories)
+    assert [(i, [t.trajectory_id for _, t in items]) for i, items in shards] == [
+        (i, [t.trajectory_id for _, t in items]) for i, items in again
+    ]
+    # All trajectories of one object land in the same shard.
+    placement = {}
+    seen_orders = set()
+    for shard_index, items in shards:
+        for order, trajectory in items:
+            assert order not in seen_orders
+            seen_orders.add(order)
+            placement.setdefault(trajectory.object_id, set()).add(shard_index)
+    assert seen_orders == set(range(len(trajectories)))
+    assert all(len(shard_set) == 1 for shard_set in placement.values())
+    # Requested parallelism is actually used.
+    assert len(shards) > 1
+
+
+def test_shard_count_never_exceeds_object_count():
+    runner = ParallelAnnotationRunner(workers=8)
+    trajectories = _trajectories(objects=2)
+    shards = runner._shard(trajectories)
+    assert len(shards) <= 2
+
+
+def test_annotate_many_requires_sources_or_context():
+    runner = ParallelAnnotationRunner(workers=1)
+    with pytest.raises(ConfigurationError):
+        runner.annotate_many(_trajectories(objects=1))
+
+
+def test_runner_defaults_come_from_pipeline_config():
+    config = PipelineConfig(parallel=ParallelConfig(workers=3, executor="serial"))
+    runner = ParallelAnnotationRunner(config=config)
+    assert runner.workers == 3
+    assert runner.executor_kind == "serial"
+    auto = ParallelAnnotationRunner(workers=2)
+    assert auto.executor_kind == "process"
+    single = ParallelAnnotationRunner(workers=1)
+    assert single.executor_kind == "serial"
+
+
+def test_empty_batch_returns_empty(annotation_sources):
+    runner = ParallelAnnotationRunner(workers=2, executor="serial")
+    context = GeoContext.build(annotation_sources, PipelineConfig())
+    assert runner.annotate_many([], context=context) == []
+
+
+def test_context_is_cached_per_sources_and_freezes_indexes(annotation_sources):
+    config = PipelineConfig.for_vehicles()
+    runner = ParallelAnnotationRunner(config=config, workers=1)
+    context = runner.context_for(annotation_sources)
+    assert runner.context_for(annotation_sources) is context
+    assert annotation_sources.road_network._index.frozen
+    assert annotation_sources.regions._index.frozen
+    assert annotation_sources.pois._index.frozen
+    assert context.available_layers() == ["region", "line", "point"]
+    assert context.windowed_matcher() is not None
+
+
+def test_runner_rejects_context_with_conflicting_config(annotation_sources):
+    """Serial and process executors must segment identically: configs must match."""
+    context = GeoContext.build(annotation_sources, PipelineConfig.for_vehicles())
+    runner = ParallelAnnotationRunner(config=PipelineConfig.for_people(), workers=1)
+    with pytest.raises(ConfigurationError):
+        runner.annotate_many(_trajectories(objects=1), context=context)
+
+
+def test_dropped_runner_releases_pool_and_registry(annotation_sources):
+    """GC of a never-closed runner stops its workers and clears the fork registry."""
+    import gc
+
+    import repro.parallel.runner as runner_mod
+
+    config = PipelineConfig.for_vehicles()
+    context = GeoContext.build(annotation_sources, config)
+    runner = ParallelAnnotationRunner(config=config, workers=2, executor="process")
+    runner.annotate_many(_trajectories(objects=4, per_object=1), context=context)
+    pool = runner._pool
+    assert pool is not None and len(runner_mod._FORK_CONTEXTS) >= 1
+    before = len(runner_mod._FORK_CONTEXTS)
+    del runner
+    gc.collect()
+    assert len(runner_mod._FORK_CONTEXTS) == before - 1
+    with pytest.raises(RuntimeError):  # executor was shut down by the finalizer
+        pool.submit(int)
+
+
+def test_engine_rejects_config_conflicting_with_snapshot(annotation_sources):
+    """A GeoContext carries its own config; a different explicit one is an error."""
+    from repro.streaming import StreamingAnnotationEngine
+
+    context = GeoContext.build(annotation_sources, PipelineConfig.for_vehicles())
+    engine = StreamingAnnotationEngine(context)  # snapshot config adopted
+    assert engine.config == PipelineConfig.for_vehicles()
+    assert StreamingAnnotationEngine(context, config=PipelineConfig.for_vehicles()) is not None
+    with pytest.raises(ConfigurationError):
+        StreamingAnnotationEngine(context, config=PipelineConfig.for_people())
+    with pytest.raises(ConfigurationError):
+        # An explicitly requested default config is also a conflict here.
+        StreamingAnnotationEngine(context, config=PipelineConfig())
+
+
+def test_serial_runner_matches_sequential_pipeline(annotation_sources, car_dataset):
+    config = PipelineConfig.for_vehicles()
+    sequential = SeMiTriPipeline(config).annotate_many(
+        car_dataset.trajectories, annotation_sources
+    )
+    runner = ParallelAnnotationRunner(config=config, workers=4, executor="serial")
+    parallel = runner.annotate_many(car_dataset.trajectories, annotation_sources)
+    assert canonical_bytes(parallel) == canonical_bytes(sequential)

@@ -1,0 +1,165 @@
+"""Store concurrency: interleaved sharded commits equal a single-writer run.
+
+The :class:`ShardedStoreWriter` receives per-shard results in arbitrary
+completion order (and, in-process, from multiple threads); its commit must
+produce exactly the row set, row order and autoincrement identifiers of a
+sequential single-writer run — and must be atomic when any row is rejected.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.annotations import activity_annotation
+from repro.core.config import StopMoveConfig
+from repro.core.episodes import Episode, EpisodeKind
+from repro.core.errors import StoreError
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.parallel import ShardedStoreWriter
+from repro.preprocessing.stops import StopMoveDetector
+from repro.store.store import SemanticTrajectoryStore
+
+
+def _make_workload(count: int = 8) -> List[Tuple[RawTrajectory, List[Episode]]]:
+    """Trajectories with real segmented episodes and an annotation each."""
+    detector = StopMoveDetector(StopMoveConfig())
+    workload = []
+    for index in range(count):
+        points = []
+        t = 0.0
+        for i in range(6):  # move
+            points.append(SpatioTemporalPoint(50.0 * i, 10.0 * index, t))
+            t += 10.0
+        for i in range(5):  # dwell
+            points.append(SpatioTemporalPoint(300.0 + 0.1 * i, 10.0 * index, t))
+            t += 90.0
+        trajectory = RawTrajectory(
+            points, object_id=f"obj{index % 3}", trajectory_id=f"obj{index % 3}-t{index}"
+        )
+        episodes = detector.segment(trajectory)
+        assert episodes
+        episodes[0].annotations.append(
+            activity_annotation("errand", category=f"cat-{index}")
+        )
+        workload.append((trajectory, episodes))
+    return workload
+
+
+def _single_writer_store(workload) -> SemanticTrajectoryStore:
+    store = SemanticTrajectoryStore()
+    for trajectory, episodes in workload:
+        store.save_trajectory(trajectory)
+        store.save_episodes(episodes)
+    return store
+
+
+def _assert_stores_identical(got: SemanticTrajectoryStore, want: SemanticTrajectoryStore):
+    assert got.stop_move_summary() == want.stop_move_summary()
+    assert got.annotation_count() == want.annotation_count()
+    assert got.trajectory_ids() == want.trajectory_ids()
+    for trajectory_id in want.trajectory_ids():
+        want_rows = want.episodes_for(trajectory_id)
+        got_rows = got.episodes_for(trajectory_id)
+        assert got_rows == want_rows  # includes autoincrement episode ids
+        for row in want_rows:
+            assert got.annotations_for(row["episode_id"]) == want.annotations_for(
+                row["episode_id"]
+            )
+
+
+def test_interleaved_shard_commits_match_single_writer():
+    """Shards finishing out of order still commit single-writer rows."""
+    workload = _make_workload()
+    reference = _single_writer_store(workload)
+
+    store = SemanticTrajectoryStore()
+    writer = ShardedStoreWriter(store)
+    # Completion order scrambled across 3 shards: last shard reports first.
+    shard_of = lambda order: order % 3
+    for order in (7, 2, 5, 0, 3, 6, 1, 4):
+        trajectory, episodes = workload[order]
+        writer.add(shard_of(order), order, trajectory, episodes)
+    assert writer.pending_count == len(workload)
+    assert writer.shard_indexes == [0, 1, 2]
+    writer.commit()
+    assert writer.pending_count == 0
+    assert writer.committed_total == len(workload)
+
+    _assert_stores_identical(store, reference)
+    reference.close()
+    store.close()
+
+
+def test_threaded_shard_adds_match_single_writer():
+    """Concurrent in-process adds (one thread per shard) stay consistent."""
+    workload = _make_workload()
+    reference = _single_writer_store(workload)
+
+    store = SemanticTrajectoryStore()
+    writer = ShardedStoreWriter(store)
+    shards = {0: [0, 3, 6], 1: [1, 4, 7], 2: [2, 5]}
+
+    def feed(shard_index: int, orders: List[int]) -> None:
+        for order in orders:
+            trajectory, episodes = workload[order]
+            writer.add_result(
+                shard_index,
+                order,
+                type("R", (), {"trajectory": trajectory, "episodes": episodes})(),
+            )
+
+    threads = [
+        threading.Thread(target=feed, args=(shard_index, orders))
+        for shard_index, orders in shards.items()
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    writer.commit()
+
+    _assert_stores_identical(store, reference)
+    reference.close()
+    store.close()
+
+
+def test_commit_is_atomic_on_rejected_row():
+    """A duplicate trajectory in the batch rolls the whole commit back."""
+    workload = _make_workload(count=4)
+    store = SemanticTrajectoryStore()
+    # The first trajectory is already stored -> the batch must be rejected.
+    store.save_trajectory(workload[0][0])
+    writer = ShardedStoreWriter(store)
+    for order, (trajectory, episodes) in enumerate(workload):
+        writer.add(order % 2, order, trajectory, episodes)
+    with pytest.raises(StoreError):
+        writer.commit()
+    # Nothing from the batch landed; the buffers survive for inspection/retry.
+    assert store.trajectory_count() == 1
+    assert store.episode_count() == 0
+    assert store.annotation_count() == 0
+    assert writer.pending_count == len(workload)
+    store.close()
+
+
+def test_multiple_commits_append_in_order():
+    """Successive commits extend the store exactly like continued sequential writes."""
+    workload = _make_workload()
+    reference = _single_writer_store(workload)
+
+    store = SemanticTrajectoryStore()
+    writer = ShardedStoreWriter(store)
+    for order in (1, 0, 2):
+        writer.add(0, order, *workload[order])
+    writer.commit()
+    for order in (5, 7, 3, 4, 6):
+        writer.add(1, order, *workload[order])
+    writer.commit()
+    assert writer.committed_total == len(workload)
+
+    _assert_stores_identical(store, reference)
+    reference.close()
+    store.close()

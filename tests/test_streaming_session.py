@@ -158,3 +158,104 @@ def test_engine_eviction_seals_trajectories():
     assert [r.trajectory.object_id for r in results] == ["a", "b"]
     assert engine.sessions_evicted == 1
     assert engine.stats.results == 2
+
+
+def test_eviction_mid_episode_matches_batch_segmentation():
+    """LRU eviction while a stop is mid-episode still yields batch-identical episodes.
+
+    Object "a" dwells long enough to open a stop episode and is evicted while
+    that stop is still open (no later point has ended it); the sealed result
+    must carry exactly the episodes the batch detector computes for the same
+    points.
+    """
+    from repro.preprocessing.stops import StopMoveDetector
+
+    config = dataclasses.replace(
+        _config(max_sessions=1, micro_batch_size=1),
+        identification=TrajectoryIdentificationConfig(
+            max_time_gap=1e9, max_distance_gap=1e9, min_points=3
+        ),
+    )
+    engine = StreamingAnnotationEngine(AnnotationSources(), config=config)
+    points = []
+    t = 0.0
+    for i in range(4):  # moving
+        points.append(SpatioTemporalPoint(40.0 * i, 0.0, t))
+        t += 20.0
+    for i in range(6):  # dwelling: stop candidate run, still open at eviction
+        points.append(SpatioTemporalPoint(160.0 + 0.2 * i, 0.0, t))
+        t += 60.0
+    results = []
+    for point in points:
+        results.extend(engine.ingest("a", point))
+    assert results == []  # trajectory still open, stop not yet sealed
+    results.extend(engine.ingest("b", SpatioTemporalPoint(5000.0, 5000.0, t)))
+    assert [r.trajectory.object_id for r in results] == ["a"]
+    sealed = results[0]
+    expected = StopMoveDetector(config.stop_move).segment(sealed.trajectory)
+    assert [
+        (e.kind.value, e.start_index, e.end_index) for e in sealed.episodes
+    ] == [(e.kind.value, e.start_index, e.end_index) for e in expected]
+    assert any(e.is_stop for e in sealed.episodes)
+    engine.close_all()
+
+
+def test_gap_exactly_at_threshold_does_not_split():
+    """Close-out thresholds are strict: a gap of exactly max_* keeps growing."""
+    config = _config()  # max_time_gap=600, max_distance_gap=1000
+    session = Session("u1", config, apply_cleaning=False)
+    update = session.push(SpatioTemporalPoint(0.0, 0.0, 0.0))
+    assert update.sealed == []
+    # Exactly the temporal threshold: same trajectory.
+    assert session.push(SpatioTemporalPoint(10.0, 0.0, 600.0)).sealed == []
+    # Exactly the spatial threshold from (10, 0): same trajectory.
+    assert session.push(SpatioTemporalPoint(1010.0, 0.0, 660.0)).sealed == []
+    assert session.open_point_count == 3
+    # One epsilon beyond the temporal threshold: split.
+    update = session.push(SpatioTemporalPoint(1010.0, 0.0, 660.0 + 600.0 + 1e-6))
+    assert len(update.sealed) == 1
+    assert len(update.sealed[0].trajectory) == 3
+    # One unit beyond the spatial threshold: split again (fragment of 1).
+    update = session.push(SpatioTemporalPoint(1010.0 + 1001.0, 0.0, 1400.0))
+    assert len(update.sealed) == 1 and update.sealed[0].discarded
+    session.close()
+
+
+def test_numbering_unique_across_eviction_recreations():
+    """Objects evicted and re-acquired keep globally unique trajectory ids."""
+    config = dataclasses.replace(
+        _config(max_sessions=1, micro_batch_size=1),
+        identification=TrajectoryIdentificationConfig(
+            max_time_gap=1e9, max_distance_gap=1e9, min_points=3
+        ),
+    )
+    engine = StreamingAnnotationEngine(AnnotationSources(), config=config)
+    results = []
+    t = 0.0
+    for _ in range(3):  # a and b alternate; each acquisition evicts the other
+        for object_id in ("a", "b"):
+            for i in range(4):
+                results.extend(engine.ingest(object_id, SpatioTemporalPoint(10.0 * i, 0.0, t)))
+                t += 30.0
+    results.extend(engine.close_all())
+    ids = [r.trajectory.trajectory_id for r in results]
+    assert len(ids) == len(set(ids)) == 6
+    assert sorted(ids) == ["a-t0", "a-t1", "a-t2", "b-t0", "b-t1", "b-t2"]
+    assert engine.sessions_evicted == 5
+
+
+def test_manager_counters_survive_pop_and_reacquire():
+    """SessionManager hands recreated sessions the shared segment counters."""
+    manager = SessionManager(_config())
+    session, _ = manager.acquire("u9")
+    for i in range(4):
+        session.push(SpatioTemporalPoint(5.0 * i, 0.0, 30.0 * i))
+    assert session.segment_index == 1  # first trajectory opened -> counter advanced
+    manager.pop("u9")
+    recreated, _ = manager.acquire("u9")
+    assert recreated is not session
+    assert recreated.segment_index == 1  # numbering resumes, not reset
+    update = recreated.push(SpatioTemporalPoint(0.0, 0.0, 1_000.0))
+    assert update.sealed == []
+    assert recreated.trajectory is not None
+    assert recreated.trajectory.trajectory_id == "u9-t1"
