@@ -11,9 +11,14 @@ experiment.
 from __future__ import annotations
 
 import json
+import os
+import platform
+import random
 import sys
 from pathlib import Path
+from typing import Dict, Optional
 
+import numpy as np
 import pytest
 
 _ROOT = Path(__file__).resolve().parent.parent
@@ -33,20 +38,59 @@ from repro.datasets import (  # noqa: E402
     WorldConfig,
 )
 
+#: One fixed seed for every global RNG a benchmark might (indirectly) touch,
+#: reset before each test so sidecars are reproducible run-to-run and the
+#: regression gate compares identical workloads.
+_BENCH_SEED = 20110325
 
-def save_result(name: str, text: str, data: object = None) -> None:
+
+@pytest.fixture(autouse=True)
+def _seed_rngs():
+    """Deterministically seed the global RNGs before every benchmark."""
+    random.seed(_BENCH_SEED)
+    np.random.seed(_BENCH_SEED)
+
+
+def machine_metadata() -> Dict[str, object]:
+    """The environment facts the bench-regression gate compares like with like."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "numpy": np.__version__,
+    }
+
+
+def save_result(
+    name: str,
+    text: str,
+    data: object = None,
+    metrics: Optional[Dict[str, float]] = None,
+) -> None:
     """Write a rendered table/series to ``results/<name>.txt`` and echo it.
 
     A machine-readable ``results/<name>.json`` sidecar is always written too,
     so perf trajectories can be diffed across PRs without parsing the tables;
     benchmarks that pass structured ``data`` (numbers, series, parameters) get
-    it embedded verbatim under the ``"data"`` key.
+    it embedded verbatim under the ``"data"`` key.  ``metrics`` is the
+    contract with ``scripts/check_bench_regression.py``: a flat name →
+    higher-is-better throughput mapping the CI bench gate compares against
+    the committed baselines.  Every sidecar also records the machine facts of
+    :func:`machine_metadata` so regressions are compared like with like.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     json_path = RESULTS_DIR / f"{name}.json"
-    payload = {"name": name, "text": text.splitlines(), "data": data}
+    payload = {
+        "name": name,
+        "text": text.splitlines(),
+        "data": data,
+        "metrics": metrics,
+        "machine": machine_metadata(),
+    }
     json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     print(f"\n{text}\n[saved to {path} and {json_path}]")
 

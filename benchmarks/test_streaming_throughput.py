@@ -118,4 +118,8 @@ def test_streaming_throughput(benchmark, car_dataset, people_dataset, annotation
         rows,
         title="Streaming engine throughput vs batch pipeline",
     )
-    save_result("streaming_throughput", text, data=data)
+    metrics = {}
+    for name, values in data.items():
+        metrics[f"{name}_stream_events_per_s"] = round(values["stream_events_per_s"], 1)
+        metrics[f"{name}_batch_events_per_s"] = round(values["batch_events_per_s"], 1)
+    save_result("streaming_throughput", text, data=data, metrics=metrics)

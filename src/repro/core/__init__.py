@@ -36,8 +36,10 @@ from repro.core.places import (
     SemanticPlace,
 )
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.core.arrays import GrowableArray, TrajectoryArrays
 from repro.core.trajectory import SemanticTrajectory, StructuredSemanticTrajectory
 from repro.core.config import (
+    ComputeConfig,
     MapMatchingConfig,
     ParallelConfig,
     PipelineConfig,
@@ -71,8 +73,11 @@ __all__ = [
     "PointOfInterest",
     "RawTrajectory",
     "SpatioTemporalPoint",
+    "GrowableArray",
+    "TrajectoryArrays",
     "SemanticTrajectory",
     "StructuredSemanticTrajectory",
+    "ComputeConfig",
     "ParallelConfig",
     "PipelineConfig",
     "StopMoveConfig",

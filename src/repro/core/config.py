@@ -257,6 +257,30 @@ class StreamingConfig:
 
 
 @dataclass(frozen=True)
+class ComputeConfig:
+    """Selection of the per-point compute backend for the hot paths.
+
+    ``"numpy"`` routes the per-point computations (cleaning prechecks, stop
+    flags, map-matching candidate scoring and kernel weights, POI Gaussian
+    sums) through the batch kernels of :mod:`repro.geometry.vectorized`;
+    ``"python"`` keeps the scalar pure-Python implementations, which remain
+    the reference oracle the parity tests compare against.  Both backends
+    produce identical discrete outputs; float payloads agree bit-for-bit
+    except where transcendental functions are involved (documented 1-ulp
+    tolerance in :mod:`repro.geometry.vectorized`).
+    """
+
+    backend: str = "numpy"
+    """Either ``"numpy"`` (vectorized batch kernels) or ``"python"`` (scalar)."""
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("numpy", "python"):
+            raise ConfigurationError(
+                f"unknown compute backend {self.backend!r}; expected 'numpy' or 'python'"
+            )
+
+
+@dataclass(frozen=True)
 class ParallelConfig:
     """Parameters of the sharded parallel annotation runtime.
 
@@ -304,6 +328,7 @@ class PipelineConfig:
     point: PointAnnotationConfig = field(default_factory=PointAnnotationConfig)
     streaming: StreamingConfig = field(default_factory=StreamingConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    compute: ComputeConfig = field(default_factory=ComputeConfig)
 
     @classmethod
     def for_vehicles(cls) -> "PipelineConfig":

@@ -69,7 +69,12 @@ class LayerAnnotators:
 
     @classmethod
     def build(cls, sources: AnnotationSources, config: PipelineConfig) -> "LayerAnnotators":
-        """Construct the annotators for every source that is available."""
+        """Construct the annotators for every source that is available.
+
+        The compute backend of ``config.compute`` is threaded into the line
+        and point layers, whose per-point hot paths have vectorized kernels.
+        """
+        backend = config.compute.backend
         return cls(
             region=(
                 RegionAnnotator(sources.regions, config.region)
@@ -81,12 +86,15 @@ class LayerAnnotators:
                     sources.road_network,
                     matching_config=config.map_matching,
                     transport_config=config.transport,
+                    backend=backend,
                 )
                 if sources.road_network is not None
                 else None
             ),
             point=(
-                PointAnnotator(sources.pois, config.point) if sources.pois is not None else None
+                PointAnnotator(sources.pois, config.point, backend=backend)
+                if sources.pois is not None
+                else None
             ),
         )
 
@@ -131,9 +139,9 @@ class SeMiTriPipeline:
     ):
         self._config = config
         self._store = store
-        self._cleaner = GpsCleaner(config.cleaning)
+        self._cleaner = GpsCleaner(config.cleaning, backend=config.compute.backend)
         self._identifier = TrajectoryIdentifier(config.identification)
-        self._detector = StopMoveDetector(config.stop_move)
+        self._detector = StopMoveDetector(config.stop_move, backend=config.compute.backend)
 
     @property
     def config(self) -> PipelineConfig:

@@ -34,6 +34,17 @@ from repro.geometry.predicates import (
 from repro.geometry.grid import GridSpec, UniformGrid
 from repro.geometry.kernels import gaussian_kernel_weight, kernel_weights
 from repro.geometry.projection import LocalProjector
+from repro.geometry.vectorized import (
+    consecutive_distances,
+    consecutive_speeds,
+    equirectangular_to_planar,
+    gaussian_2d_densities,
+    gaussian_kernel_weights,
+    pairwise_distances,
+    planar_to_equirectangular,
+    point_segment_distances,
+    points_in_bbox,
+)
 
 __all__ = [
     "BoundingBox",
@@ -54,4 +65,13 @@ __all__ = [
     "gaussian_kernel_weight",
     "kernel_weights",
     "LocalProjector",
+    "consecutive_distances",
+    "consecutive_speeds",
+    "equirectangular_to_planar",
+    "gaussian_2d_densities",
+    "gaussian_kernel_weights",
+    "pairwise_distances",
+    "planar_to_equirectangular",
+    "point_segment_distances",
+    "points_in_bbox",
 ]

@@ -19,8 +19,16 @@ EARTH_RADIUS_METERS = 6_371_000.0
 
 
 def euclidean_distance(a: Point, b: Point) -> float:
-    """Planar Euclidean distance between two points."""
-    return math.hypot(a.x - b.x, a.y - b.y)
+    """Planar Euclidean distance between two points.
+
+    Uses the explicit ``sqrt(dx*dx + dy*dy)`` form (not ``math.hypot``) so the
+    vectorized kernels of :mod:`repro.geometry.vectorized`, which are built
+    from the same correctly rounded elementwise operations, reproduce it
+    bit-for-bit.
+    """
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def squared_euclidean_distance(a: Point, b: Point) -> float:

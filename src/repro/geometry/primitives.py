@@ -29,8 +29,16 @@ class Point:
         return Point(self.x + dx, self.y + dy)
 
     def distance_to(self, other: "Point") -> float:
-        """Planar Euclidean distance to ``other``."""
-        return math.hypot(self.x - other.x, self.y - other.y)
+        """Planar Euclidean distance to ``other``.
+
+        Computed as ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot`` — this
+        exact operation sequence is what the numpy kernels of
+        :mod:`repro.geometry.vectorized` replicate elementwise, so the scalar
+        and vectorized compute backends agree bit-for-bit on distances.
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return math.sqrt(dx * dx + dy * dy)
 
 
 @dataclass(frozen=True)

@@ -28,8 +28,9 @@ class LineAnnotator:
         network: RoadNetwork,
         matching_config: MapMatchingConfig = MapMatchingConfig(),
         transport_config: TransportModeConfig = TransportModeConfig(),
+        backend: str = "numpy",
     ):
-        self._matcher = GlobalMapMatcher(network, matching_config)
+        self._matcher = GlobalMapMatcher(network, matching_config, backend=backend)
         self._classifier = TransportModeClassifier(transport_config)
 
     @property

@@ -20,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.arrays import TrajectoryArrays
 from repro.core.config import MapMatchingConfig
 from repro.core.places import LineOfInterest
 from repro.core.points import SpatioTemporalPoint
@@ -30,7 +33,30 @@ from repro.geometry.distance import (
 )
 from repro.geometry.kernels import gaussian_kernel_weight
 from repro.geometry.primitives import Point
+from repro.geometry.vectorized import (
+    gaussian_kernel_weights,
+    leading_run_within_radius,
+    perpendicular_distances,
+    point_segment_distances,
+    points_in_bbox,
+)
 from repro.lines.road_network import RoadNetwork
+
+#: Coordinate columns of the points being matched: ``(xs, ys)``.  The batch
+#: matcher builds them once per :meth:`GlobalMapMatcher.match` call; the
+#: streaming :class:`~repro.streaming.matching.WindowedMapMatcher` appends
+#: into growable buffers and passes views, so both run the same kernels.
+CoordinateArrays = Tuple[np.ndarray, np.ndarray]
+
+#: Small-input cutoffs below which the scalar loops beat the fixed per-call
+#: overhead of numpy kernels.  Crossing them never changes output bytes: the
+#: distance and window computations are bit-equal across paths (arithmetic
+#: only), and the ``exp``-dependent weight path is selected from the window
+#: alone, which is identical however it was computed — so batch and streaming
+#: always take the same weight path for the same emitted point.
+_VECTOR_MIN_POINTS = 32
+_VECTOR_MIN_CANDIDATES = 8
+_VECTOR_MIN_WINDOW = 16
 
 
 @dataclass(frozen=True)
@@ -67,11 +93,26 @@ class MatchedPoint:
 
 
 class GlobalMapMatcher:
-    """The global map-matching algorithm of Section 4.2."""
+    """The global map-matching algorithm of Section 4.2.
 
-    def __init__(self, network: RoadNetwork, config: MapMatchingConfig = MapMatchingConfig()):
+    ``backend`` selects the per-point compute path: ``"numpy"`` columnarises
+    the episode once, prefilters points that cannot reach any segment with a
+    vectorized bounding-box test, scores candidate sets through the batch
+    point-segment-distance kernel and aggregates context windows with
+    vectorized Gaussian kernel weights; ``"python"`` is the scalar reference.
+    Candidate selection, ordering and tie-breaking are shared, so both
+    backends match every point to the same segment.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: MapMatchingConfig = MapMatchingConfig(),
+        backend: str = "numpy",
+    ):
         self._network = network
         self._config = config
+        self._backend = backend
 
     @property
     def network(self) -> RoadNetwork:
@@ -83,12 +124,27 @@ class GlobalMapMatcher:
         """The active map-matching configuration."""
         return self._config
 
+    @property
+    def backend(self) -> str:
+        """The active compute backend (``"numpy"`` or ``"python"``)."""
+        return self._backend
+
     # -------------------------------------------------------------- matching
     def match(self, points: Sequence[SpatioTemporalPoint]) -> List[MatchedPoint]:
         """Match every GPS point of a move episode to a road segment."""
         if not points:
             return []
-        local_scores = [self.local_scores(point) for point in points]
+        coords: Optional[CoordinateArrays] = None
+        if self._backend == "numpy" and len(points) >= _VECTOR_MIN_POINTS:
+            arrays = TrajectoryArrays.from_points(points)
+            coords = (arrays.xs, arrays.ys)
+            reachable = self._reachable_mask(arrays)
+            local_scores = [
+                self.local_scores(point) if reachable[index] else {}
+                for index, point in enumerate(points)
+            ]
+        else:
+            local_scores = [self.local_scores(point) for point in points]
         matched: List[MatchedPoint] = []
         for index, point in enumerate(points):
             candidates = local_scores[index]
@@ -98,11 +154,35 @@ class GlobalMapMatcher:
                 )
                 continue
             if self._config.use_global_score:
-                scores = self.global_scores(points, local_scores, index)
+                scores = self.global_scores(points, local_scores, index, coords=coords)
             else:
                 scores = {seg_id: score for seg_id, (score, _) in candidates.items()}
             matched.append(self.select_best(point, candidates, scores))
         return matched
+
+    def _reachable_mask(self, arrays: TrajectoryArrays) -> np.ndarray:
+        """Vectorized prefilter: which points could have a candidate at all.
+
+        A point farther than ``candidate_radius`` (in every axis) from the
+        network's bounding box is farther than that radius from every
+        segment, so its R-tree query is guaranteed empty and skipped.  The
+        padding carries a small slack beyond the radius because the scalar
+        filter compares a *rounded* ``sqrt`` distance against the radius: a
+        point whose true distance exceeds the radius by less than a rounding
+        error could still pass it, and the prefilter must never skip a point
+        the query could match.  Extra non-skips are merely an empty query.
+        """
+        bounds = self._network.bounds()
+        radius = self._config.candidate_radius
+        padding = radius * (1.0 + 1e-9) + 1e-9
+        return points_in_bbox(
+            arrays.xs,
+            arrays.ys,
+            bounds.min_x - padding,
+            bounds.min_y - padding,
+            bounds.max_x + padding,
+            bounds.max_y + padding,
+        )
 
     def select_best(
         self,
@@ -145,10 +225,13 @@ class GlobalMapMatcher:
         )
         if not candidates:
             return {}
-        distances = {
-            segment.place_id: (self._distance(point.position, segment), segment)
-            for _, segment in candidates
-        }
+        if self._backend == "numpy" and len(candidates) >= _VECTOR_MIN_CANDIDATES:
+            distances = self._candidate_distances_arrays(point.position, candidates)
+        else:
+            distances = {
+                segment.place_id: (self._distance(point.position, segment), segment)
+                for _, segment in candidates
+            }
         d_min = min(distance for distance, _ in distances.values())
         scores: Dict[str, Tuple[float, LineOfInterest]] = {}
         for segment_id, (distance, segment) in distances.items():
@@ -161,11 +244,47 @@ class GlobalMapMatcher:
             scores[segment_id] = (score, segment)
         return scores
 
+    def _candidate_distances_arrays(
+        self, position: Point, candidates: Sequence[Tuple[float, LineOfInterest]]
+    ) -> Dict[str, Tuple[float, LineOfInterest]]:
+        """Candidate distances through the batch kernel (bit-equal to scalar).
+
+        Gathers the candidates' endpoint geometry from the network's cached
+        :class:`~repro.lines.road_network.SegmentArrays` with one
+        fancy-indexing operation and evaluates Equation 1 over the whole
+        candidate set at once, preserving candidate order (and with it the
+        deterministic tie-breaking downstream).
+        """
+        arrays = self._network.segment_arrays()
+        rows = np.fromiter(
+            (arrays.row_of[segment.place_id] for _, segment in candidates),
+            dtype=np.intp,
+            count=len(candidates),
+        )
+        kernel = (
+            perpendicular_distances
+            if self._config.distance_metric == "perpendicular"
+            else point_segment_distances
+        )
+        distances = kernel(
+            position.x,
+            position.y,
+            arrays.start_xs[rows],
+            arrays.start_ys[rows],
+            arrays.end_xs[rows],
+            arrays.end_ys[rows],
+        )
+        return {
+            segment.place_id: (float(distances[column]), segment)
+            for column, (_, segment) in enumerate(candidates)
+        }
+
     def global_scores(
         self,
         points: Sequence[SpatioTemporalPoint],
         local_scores: Sequence[Dict[str, Tuple[float, LineOfInterest]]],
         index: int,
+        coords: Optional[CoordinateArrays] = None,
     ) -> Dict[str, float]:
         """Equations 3-4: kernel-weighted global score of each candidate of point ``index``.
 
@@ -174,6 +293,12 @@ class GlobalMapMatcher:
         what lets the streaming :class:`~repro.streaming.matching.WindowedMapMatcher`
         emit a point's match as soon as one later out-of-radius point has been
         observed.
+
+        ``coords`` carries the episode's coordinate columns for the numpy
+        backend (built by :meth:`match`, or streamed into growable buffers by
+        the windowed matcher); the window walk and the kernel weights then
+        run vectorized, while the per-candidate accumulation keeps the scalar
+        loop's order so batch and streaming stay byte-identical.
         """
         center = points[index].position
         radius = self._config.context_radius
@@ -183,12 +308,43 @@ class GlobalMapMatcher:
         weighted_sum: Dict[str, float] = {segment_id: 0.0 for segment_id in candidate_ids}
         weight_total = 0.0
 
-        # Walk the neighbours inside the context window in both directions.
-        for neighbor_index in self._window_indices(points, index, radius):
-            neighbor = points[neighbor_index]
-            weight = gaussian_kernel_weight(
-                center.distance_to(neighbor.position), bandwidth=sigma, radius=radius
+        # The window is identical whichever walk computes it (comparisons over
+        # bit-equal distances), so the weight-path choice below, made from the
+        # window alone, is the same in batch and streaming.
+        if coords is not None and self._backend == "numpy":
+            window = self._window_indices_arrays(coords, index, radius)
+        else:
+            window = self._window_indices(points, index, radius)
+
+        if self._backend == "numpy" and len(window) >= _VECTOR_MIN_WINDOW:
+            if coords is not None:
+                xs, ys = coords
+                dx = xs[window] - center.x
+                dy = ys[window] - center.y
+            else:
+                count = len(window)
+                dx = np.fromiter(
+                    (points[k].x for k in window), dtype=np.float64, count=count
+                ) - center.x
+                dy = np.fromiter(
+                    (points[k].y for k in window), dtype=np.float64, count=count
+                ) - center.y
+            weights = gaussian_kernel_weights(
+                np.sqrt(dx * dx + dy * dy), bandwidth=sigma, radius=radius
             )
+        else:
+            weights = [
+                gaussian_kernel_weight(
+                    center.distance_to(points[neighbor_index].position),
+                    bandwidth=sigma,
+                    radius=radius,
+                )
+                for neighbor_index in window
+            ]
+
+        # Aggregate the neighbours inside the context window in both directions.
+        for position, neighbor_index in enumerate(window):
+            weight = float(weights[position])
             if weight <= 0.0:
                 continue
             weight_total += weight
@@ -221,6 +377,31 @@ class GlobalMapMatcher:
             window.append(cursor)
             cursor += 1
         return sorted(window)
+
+    def _window_indices_arrays(
+        self, coords: CoordinateArrays, index: int, radius: float
+    ) -> List[int]:
+        """Vectorized :meth:`_window_indices`: adaptive chunked walks over columns.
+
+        The backward walk scans a reversed view, the forward walk the
+        trailing slice; both use the strict ``<`` comparison of the scalar
+        loops and stop at the first point leaving the view radius, so the
+        resulting (sorted) window is identical.
+        """
+        xs, ys = coords
+        cx, cy = float(xs[index]), float(ys[index])
+        before = leading_run_within_radius(
+            xs[index - 1 :: -1] if index > 0 else xs[:0],
+            ys[index - 1 :: -1] if index > 0 else ys[:0],
+            cx,
+            cy,
+            radius,
+            inclusive=False,
+        )
+        after = leading_run_within_radius(
+            xs[index + 1 :], ys[index + 1 :], cx, cy, radius, inclusive=False
+        )
+        return list(range(index - before, index + after + 1))
 
 
 def matching_accuracy(

@@ -13,13 +13,35 @@ cycling, a plain ``road`` serves walking, cycling, bus and car travel.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.errors import SourceError
 from repro.core.places import LineOfInterest
 from repro.geometry.distance import point_segment_distance
 from repro.geometry.primitives import BoundingBox, Point, Segment
 from repro.index.rtree import RTree, RTreeEntry
+
+
+@dataclass(frozen=True)
+class SegmentArrays:
+    """Columnar endpoint coordinates of every segment of a road network.
+
+    One contiguous float64 column per endpoint coordinate plus the row index
+    of each segment id, so the vectorized map-matching kernels can gather a
+    candidate set's geometry with one fancy-indexing operation instead of
+    touching ``Segment`` objects point by point.  Built once per network
+    (eagerly by :class:`~repro.parallel.context.GeoContext` so forked workers
+    share the pages) and treated as read-only.
+    """
+
+    start_xs: np.ndarray
+    start_ys: np.ndarray
+    end_xs: np.ndarray
+    end_ys: np.ndarray
+    row_of: Dict[str, int]
 
 #: Default permissions and speed limits per road type.
 ROAD_TYPE_PROFILES: Dict[str, Dict[str, object]] = {
@@ -68,6 +90,7 @@ class RoadNetwork:
             RTreeEntry(box=segment.bounding_box(), item=segment) for segment in self._segments
         )
         self._adjacency = self._build_adjacency()
+        self._segment_arrays: Optional[SegmentArrays] = None
 
     # ----------------------------------------------------------- basic access
     def __len__(self) -> int:
@@ -77,6 +100,27 @@ class RoadNetwork:
         """Seal the network's R-tree for read-only sharing across workers."""
         self._index.freeze()
         return self
+
+    def segment_arrays(self) -> SegmentArrays:
+        """Cached columnar endpoint arrays of all segments (built on first use)."""
+        if self._segment_arrays is None:
+            count = len(self._segments)
+            self._segment_arrays = SegmentArrays(
+                start_xs=np.fromiter(
+                    (s.segment.start.x for s in self._segments), dtype=np.float64, count=count
+                ),
+                start_ys=np.fromiter(
+                    (s.segment.start.y for s in self._segments), dtype=np.float64, count=count
+                ),
+                end_xs=np.fromiter(
+                    (s.segment.end.x for s in self._segments), dtype=np.float64, count=count
+                ),
+                end_ys=np.fromiter(
+                    (s.segment.end.y for s in self._segments), dtype=np.float64, count=count
+                ),
+                row_of={s.place_id: row for row, s in enumerate(self._segments)},
+            )
+        return self._segment_arrays
 
     @property
     def segments(self) -> List[LineOfInterest]:

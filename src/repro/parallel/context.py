@@ -40,6 +40,14 @@ class GeoContext:
         for source in (sources.regions, sources.road_network, sources.pois):
             if source is not None:
                 source.freeze()
+        # Prebuild the columnar coordinate arrays of the indexed sources so
+        # the snapshot ships them to workers (free under fork, pickled once
+        # under spawn) instead of each worker rebuilding them lazily.
+        if config.compute.backend == "numpy":
+            if sources.road_network is not None:
+                sources.road_network.segment_arrays()
+            if sources.pois is not None:
+                sources.pois.coordinate_arrays()
 
     @classmethod
     def build(cls, sources: AnnotationSources, config: PipelineConfig = PipelineConfig()) -> "GeoContext":
@@ -76,4 +84,8 @@ class GeoContext:
         """
         if self._sources.road_network is None:
             return None
-        return WindowedMapMatcher(self._sources.road_network, self._config.map_matching)
+        return WindowedMapMatcher(
+            self._sources.road_network,
+            self._config.map_matching,
+            backend=self._config.compute.backend,
+        )

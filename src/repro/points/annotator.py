@@ -29,10 +29,11 @@ class PointAnnotator:
         source: PoiSource,
         config: PointAnnotationConfig = PointAnnotationConfig(),
         transitions: Optional[Dict[str, Dict[str, float]]] = None,
+        backend: str = "numpy",
     ):
         self._source = source
         self._config = config
-        self._observation_model = PoiObservationModel(source, config)
+        self._observation_model = PoiObservationModel(source, config, backend=backend)
         categories = self._observation_model.categories
         self._hmm = HiddenMarkovModel(
             states=categories,

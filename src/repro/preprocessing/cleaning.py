@@ -4,6 +4,20 @@ The Trajectory Computation Layer first removes GPS outliers (fixes that imply
 a physically impossible speed) and smooths the remaining random error with a
 small sliding-window filter.  Both operations preserve timestamps; only the
 spatial coordinates change.
+
+The ``numpy`` backend accelerates both passes without changing a single
+output bit:
+
+* outlier removal first runs a vectorized precheck over the whole stream —
+  when every consecutive step has positive duration and legal speed (the
+  overwhelmingly common case) nothing can be dropped and the input is
+  returned as-is; otherwise the exact greedy scalar scan runs, because the
+  anchor-based filter is inherently sequential once a fix is dropped;
+* median smoothing (the default method) is a selection, not a sum, so the
+  vectorized sliding-window median is bit-for-bit identical to the scalar
+  loop.  Mean smoothing intentionally stays scalar: ``statistics.fmean`` is
+  exactly rounded while ``numpy.mean`` is not, and the cleaning parity
+  contract is byte-equality.
 """
 
 from __future__ import annotations
@@ -11,9 +25,18 @@ from __future__ import annotations
 import statistics
 from typing import List, Sequence
 
+import numpy as np
+
+from repro.core.arrays import TrajectoryArrays
 from repro.core.config import CleaningConfig
 from repro.core.errors import DataQualityError
 from repro.core.points import SpatioTemporalPoint
+from repro.geometry.vectorized import consecutive_distances
+
+#: Streams shorter than this stay on the scalar passes even under the numpy
+#: backend (fixed kernel overhead would dominate); both paths are bit-equal,
+#: so the cutoff never changes output.
+_VECTOR_MIN_POINTS = 32
 
 
 class GpsCleaner:
@@ -23,15 +46,23 @@ class GpsCleaner:
     ----------
     config:
         Cleaning thresholds; see :class:`repro.core.config.CleaningConfig`.
+    backend:
+        ``"numpy"`` (vectorized fast paths) or ``"python"`` (scalar reference).
     """
 
-    def __init__(self, config: CleaningConfig = CleaningConfig()):
+    def __init__(self, config: CleaningConfig = CleaningConfig(), backend: str = "numpy"):
         self._config = config
+        self._backend = backend
 
     @property
     def config(self) -> CleaningConfig:
         """The active cleaning configuration."""
         return self._config
+
+    @property
+    def backend(self) -> str:
+        """The active compute backend (``"numpy"`` or ``"python"``)."""
+        return self._backend
 
     # ------------------------------------------------------------- outliers
     def remove_outliers(
@@ -45,6 +76,33 @@ class GpsCleaner:
         """
         if not points:
             return []
+        if (
+            self._backend == "numpy"
+            and len(points) >= _VECTOR_MIN_POINTS
+            and self._all_steps_legal(points)
+        ):
+            return list(points)
+        return self._remove_outliers_scalar(points)
+
+    def _all_steps_legal(self, points: Sequence[SpatioTemporalPoint]) -> bool:
+        """Vectorized precheck: True when the greedy filter cannot drop anything.
+
+        When every consecutive step has ``dt > 0`` and speed at most
+        ``max_speed``, the anchor never diverges from the predecessor and no
+        fix is dropped, so the scalar scan would return the input unchanged.
+        Any violation (including negative or duplicate timestamps) falls back
+        to the scalar scan, which owns the exact drop/raise semantics.
+        """
+        arrays = TrajectoryArrays.from_points(points)
+        dt = arrays.ts[1:] - arrays.ts[:-1]
+        if not bool((dt > 0.0).all()):
+            return False
+        distances = consecutive_distances(arrays.xs, arrays.ys)
+        return bool((distances / dt <= self._config.max_speed).all())
+
+    def _remove_outliers_scalar(
+        self, points: Sequence[SpatioTemporalPoint]
+    ) -> List[SpatioTemporalPoint]:
         cleaned: List[SpatioTemporalPoint] = [points[0]]
         for candidate in points[1:]:
             anchor = cleaned[-1]
@@ -71,6 +129,17 @@ class GpsCleaner:
         method = self._config.smoothing_method
         if window <= 1 or method == "none" or len(points) < 3:
             return list(points)
+        if (
+            self._backend == "numpy"
+            and method == "median"
+            and len(points) >= _VECTOR_MIN_POINTS
+        ):
+            return self._smooth_median_arrays(points, window)
+        return self._smooth_scalar(points, window, method)
+
+    def _smooth_scalar(
+        self, points: Sequence[SpatioTemporalPoint], window: int, method: str
+    ) -> List[SpatioTemporalPoint]:
         half = window // 2
         aggregate = statistics.median if method == "median" else statistics.fmean
         smoothed: List[SpatioTemporalPoint] = []
@@ -83,6 +152,47 @@ class GpsCleaner:
             xs = [p.x for p in points[lo:hi]]
             ys = [p.y for p in points[lo:hi]]
             smoothed.append(SpatioTemporalPoint(aggregate(xs), aggregate(ys), point.t))
+        return smoothed
+
+    def _smooth_median_arrays(
+        self, points: Sequence[SpatioTemporalPoint], window: int
+    ) -> List[SpatioTemporalPoint]:
+        """Vectorized sliding-window median over columnar coordinates.
+
+        Interior points whose window is not clipped by the stream boundary are
+        aggregated in one ``np.median`` sweep over a strided window view; the
+        few boundary points (clipped windows, anchored endpoints) follow the
+        scalar rules.  ``np.median`` and ``statistics.median`` select (or
+        average) the same elements, so the result is bit-for-bit identical.
+        """
+        n = len(points)
+        half = window // 2
+        arrays = TrajectoryArrays.from_points(points)
+        smoothed: List[SpatioTemporalPoint] = list(points)
+        # Indices with a full, unclipped window: half .. n - 1 - half.
+        full_lo = half
+        full_hi = n - 1 - half
+        if full_hi >= full_lo:
+            span = 2 * half + 1
+            windows_x = np.lib.stride_tricks.sliding_window_view(arrays.xs, span)
+            windows_y = np.lib.stride_tricks.sliding_window_view(arrays.ys, span)
+            med_x = np.median(windows_x, axis=1)
+            med_y = np.median(windows_y, axis=1)
+            for index in range(max(full_lo, 1), min(full_hi, n - 2) + 1):
+                smoothed[index] = SpatioTemporalPoint(
+                    float(med_x[index - half]), float(med_y[index - half]), points[index].t
+                )
+        # Boundary interior points (window clipped by the stream edge).
+        for index in range(1, n - 1):
+            if full_lo <= index <= full_hi:
+                continue
+            lo = max(0, index - half)
+            hi = min(n, index + half + 1)
+            smoothed[index] = SpatioTemporalPoint(
+                float(np.median(arrays.xs[lo:hi])),
+                float(np.median(arrays.ys[lo:hi])),
+                points[index].t,
+            )
         return smoothed
 
     # ---------------------------------------------------------------- pipeline

@@ -16,18 +16,32 @@ thresholds among the trajectory computing policies):
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
+import numpy as np
+
+from repro.core.arrays import TrajectoryArrays
 from repro.core.config import StopMoveConfig
 from repro.core.episodes import Episode, EpisodeKind, validate_episode_partition
 from repro.core.errors import DataQualityError
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.geometry.vectorized import leading_run_within_radius
 from repro.preprocessing.features import compute_motion_features
 
 
 # The segmentation passes are module-level functions so that the streaming
 # subsystem's incremental detector can run exactly the same code on a growing
 # point buffer; :class:`StopMoveDetector` composes them for the batch case.
+# Each flag pass has a scalar implementation (the reference oracle) and an
+# ``*_arrays`` variant over columnar coordinates that reproduces it
+# bit-for-bit (distance comparisons only involve correctly rounded
+# arithmetic; see :mod:`repro.geometry.vectorized`).
+
+#: Trajectories shorter than this stay on the scalar flag loops even under
+#: the numpy backend — the columnarisation overhead would dominate.  The two
+#: paths produce bit-identical flags, so the cutoff never changes output.
+VECTOR_MIN_POINTS = 32
 
 
 def velocity_stop_flags(
@@ -36,6 +50,11 @@ def velocity_stop_flags(
     """Per-point stop-candidate flags of the velocity policy."""
     features = compute_motion_features(points)
     return [speed < speed_threshold for speed in features.speeds]
+
+
+def velocity_stop_flags_arrays(arrays: TrajectoryArrays, speed_threshold: float) -> List[bool]:
+    """Vectorized velocity flags over a whole columnar trajectory."""
+    return (arrays.speeds < speed_threshold).tolist()
 
 
 def expand_density_flags(
@@ -76,12 +95,85 @@ def expand_density_flags(
     return frontier
 
 
+#: Expansion steps probed with scalar arithmetic before escalating to the
+#: chunked vector scan; short (move-typical) runs never pay a kernel call.
+_DENSITY_PROBE = 8
+
+
+def expand_density_flags_arrays(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    ts: np.ndarray,
+    radius: float,
+    min_duration: float,
+    flags: List[bool],
+    start: int = 0,
+) -> int:
+    """Vectorized :func:`expand_density_flags` over columnar coordinates.
+
+    Same in-place contract and identical output, including the resumption
+    frontier.  Per seed, the forward expansion first probes a few steps with
+    inline scalar arithmetic over raw float lists (no ``Point`` objects) and
+    escalates to an adaptive chunked vector scan only for long dwell runs, so
+    move-heavy stretches stay cheap while stops cost a handful of vector
+    operations.  The distance comparison (``sqrt`` form, ``<=``) matches the
+    scalar loop bit-for-bit on both paths.
+    """
+    n = len(xs)
+    for index in range(start, n):
+        flags[index] = False
+    # Local (region-offset) float lists: everything a seed >= start can read.
+    xs_l = xs[start:].tolist()
+    ys_l = ys[start:].tolist()
+    ts_l = ts[start:].tolist()
+    frontier = n
+    index = start
+    while index < n:
+        local = index - start
+        sx = xs_l[local]
+        sy = ys_l[local]
+        end = index
+        # Scalar probe of the first few expansion steps.
+        while end + 1 < n and end - index < _DENSITY_PROBE:
+            nxt = end + 1 - start
+            dx = sx - xs_l[nxt]
+            dy = sy - ys_l[nxt]
+            if math.sqrt(dx * dx + dy * dy) <= radius:
+                end += 1
+            else:
+                break
+        else:
+            # Probe exhausted without a violation: finish with chunked scans.
+            if end + 1 < n:
+                end += leading_run_within_radius(
+                    xs[end + 1 :], ys[end + 1 :], sx, sy, radius
+                )
+        if end + 1 == n and frontier == n:
+            frontier = index
+        duration = ts_l[end - start] - ts_l[local]
+        if duration >= min_duration and end > index:
+            flags[index : end + 1] = [True] * (end + 1 - index)
+            index = end + 1
+        else:
+            index += 1
+    return frontier
+
+
 def density_stop_flags(
     points: Sequence[SpatioTemporalPoint], radius: float, min_duration: float
 ) -> List[bool]:
     """Per-point stop-candidate flags of the density policy."""
     flags = [False] * len(points)
     expand_density_flags(points, radius, min_duration, flags)
+    return flags
+
+
+def density_stop_flags_arrays(
+    arrays: TrajectoryArrays, radius: float, min_duration: float
+) -> List[bool]:
+    """Vectorized per-point stop-candidate flags of the density policy."""
+    flags = [False] * len(arrays)
+    expand_density_flags_arrays(arrays.xs, arrays.ys, arrays.ts, radius, min_duration, flags)
     return flags
 
 
@@ -178,15 +270,27 @@ def absorb_short_moves(
 
 
 class StopMoveDetector:
-    """Segments raw trajectories into stop and move episodes."""
+    """Segments raw trajectories into stop and move episodes.
 
-    def __init__(self, config: StopMoveConfig = StopMoveConfig()):
+    ``backend`` selects how the per-point stop flags are computed:
+    ``"numpy"`` columnarises the trajectory once and sweeps the vectorized
+    flag kernels over it, ``"python"`` keeps the scalar reference loops.
+    Both produce identical flags (see :mod:`repro.geometry.vectorized`).
+    """
+
+    def __init__(self, config: StopMoveConfig = StopMoveConfig(), backend: str = "numpy"):
         self._config = config
+        self._backend = backend
 
     @property
     def config(self) -> StopMoveConfig:
         """The active stop/move configuration."""
         return self._config
+
+    @property
+    def backend(self) -> str:
+        """The active compute backend (``"numpy"`` or ``"python"``)."""
+        return self._backend
 
     # ------------------------------------------------------------------ API
     def segment(self, trajectory: RawTrajectory) -> List[Episode]:
@@ -218,24 +322,39 @@ class StopMoveDetector:
     # ----------------------------------------------------------- candidates
     def _stop_flags(self, trajectory: RawTrajectory) -> List[bool]:
         policy = self._config.policy
+        arrays = (
+            TrajectoryArrays.from_trajectory(trajectory)
+            if self._backend == "numpy" and len(trajectory) >= VECTOR_MIN_POINTS
+            else None
+        )
         if policy == "velocity":
-            return self._velocity_flags(trajectory)
+            return self._velocity_flags(trajectory, arrays)
         if policy == "density":
-            return self._density_flags(trajectory)
-        velocity = self._velocity_flags(trajectory)
-        density = self._density_flags(trajectory)
+            return self._density_flags(trajectory, arrays)
+        velocity = self._velocity_flags(trajectory, arrays)
+        density = self._density_flags(trajectory, arrays)
         return [v or d for v, d in zip(velocity, density)]
 
-    def _velocity_flags(self, trajectory: RawTrajectory) -> List[bool]:
+    def _velocity_flags(
+        self, trajectory: RawTrajectory, arrays: Optional[TrajectoryArrays] = None
+    ) -> List[bool]:
+        if arrays is not None:
+            return velocity_stop_flags_arrays(arrays, self._config.speed_threshold)
         return velocity_stop_flags(trajectory.points, self._config.speed_threshold)
 
-    def _density_flags(self, trajectory: RawTrajectory) -> List[bool]:
+    def _density_flags(
+        self, trajectory: RawTrajectory, arrays: Optional[TrajectoryArrays] = None
+    ) -> List[bool]:
         """Seed-and-expand density policy.
 
         Starting from each unvisited point, expand forward while the points
         stay within ``density_radius`` of the seed.  If the expansion covers at
         least ``min_stop_duration`` seconds, all covered points are flagged.
         """
+        if arrays is not None:
+            return density_stop_flags_arrays(
+                arrays, self._config.density_radius, self._config.min_stop_duration
+            )
         return density_stop_flags(
             trajectory.points, self._config.density_radius, self._config.min_stop_duration
         )

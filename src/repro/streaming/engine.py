@@ -113,7 +113,11 @@ class StreamingAnnotationEngine:
                 config = PipelineConfig()
             annotators = LayerAnnotators.build(sources, config)
             windowed = (
-                WindowedMapMatcher(sources.road_network, config.map_matching)
+                WindowedMapMatcher(
+                    sources.road_network,
+                    config.map_matching,
+                    backend=config.compute.backend,
+                )
                 if sources.road_network is not None
                 else None
             )

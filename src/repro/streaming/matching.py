@@ -20,13 +20,14 @@ memory is thus bounded by the episode, the same as the batch matcher.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.arrays import GrowableArray
 from repro.core.config import MapMatchingConfig
 from repro.core.errors import DataQualityError
 from repro.core.places import LineOfInterest
 from repro.core.points import SpatioTemporalPoint
-from repro.lines.map_matching import GlobalMapMatcher, MatchedPoint
+from repro.lines.map_matching import CoordinateArrays, GlobalMapMatcher, MatchedPoint
 from repro.lines.road_network import RoadNetwork
 
 
@@ -37,15 +38,34 @@ class WindowedMapMatcher:
     returns the matches whose kernel window became fully observed.  Call
     :meth:`finish` at the end of the episode to flush the pending tail and
     reset the matcher for the next episode.
+
+    Under the ``numpy`` backend each pushed fix is also appended to growable
+    coordinate buffers whose views feed the exact batch kernels
+    :meth:`GlobalMapMatcher.match` uses, so streaming and batch matching stay
+    byte-identical per backend.
     """
 
-    def __init__(self, network: RoadNetwork, config: MapMatchingConfig = MapMatchingConfig()):
-        self._matcher = GlobalMapMatcher(network, config)
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: MapMatchingConfig = MapMatchingConfig(),
+        backend: str = "numpy",
+    ):
+        self._matcher = GlobalMapMatcher(network, config, backend=backend)
         self._config = config
+        self._backend = backend
         self._points: List[SpatioTemporalPoint] = []
         self._local: List[Dict[str, Tuple[float, LineOfInterest]]] = []
+        self._xs = GrowableArray()
+        self._ys = GrowableArray()
         self._emitted = 0
         self._scan = 1  # next forward index to test for closing the head's window
+
+    def _coords(self) -> Optional[CoordinateArrays]:
+        """Filled-prefix coordinate views for the vectorized kernels."""
+        if self._backend != "numpy":
+            return None
+        return (self._xs.view(), self._ys.view())
 
     @property
     def matcher(self) -> GlobalMapMatcher:
@@ -67,6 +87,8 @@ class WindowedMapMatcher:
         """Feed the next point of the episode; returns newly final matches."""
         self._points.append(point)
         self._local.append(self._matcher.local_scores(point))
+        self._xs.append(point.x)
+        self._ys.append(point.y)
         return self._drain(closed=False)
 
     def finish(self) -> List[MatchedPoint]:
@@ -74,6 +96,8 @@ class WindowedMapMatcher:
         remaining = self._drain(closed=True)
         self._points = []
         self._local = []
+        self._xs.clear()
+        self._ys.clear()
         self._emitted = 0
         self._scan = 1
         return remaining
@@ -105,7 +129,9 @@ class WindowedMapMatcher:
             if self._config.use_global_score:
                 if not closed and not self._forward_window_closed(index):
                     break  # wait for a point beyond the view radius
-                scores = self._matcher.global_scores(self._points, self._local, index)
+                scores = self._matcher.global_scores(
+                    self._points, self._local, index, coords=self._coords()
+                )
             else:
                 scores = {seg_id: score for seg_id, (score, _) in candidates.items()}
             emitted.append(self._matcher.select_best(point, candidates, scores))

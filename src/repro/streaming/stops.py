@@ -45,15 +45,19 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.core.arrays import GrowableArray
 from repro.core.config import StopMoveConfig
 from repro.core.episodes import Episode, EpisodeKind
 from repro.core.errors import DataQualityError
 from repro.core.points import RawTrajectory
+from repro.geometry.vectorized import consecutive_speeds
 from repro.preprocessing.stops import (
+    VECTOR_MIN_POINTS,
     StopMoveDetector,
     absorb_short_moves,
     enforce_min_duration,
     expand_density_flags,
+    expand_density_flags_arrays,
 )
 
 
@@ -67,13 +71,22 @@ class IncrementalStopMoveDetector:
     collect the remaining tail.
     """
 
-    def __init__(self, trajectory: RawTrajectory, config: StopMoveConfig = StopMoveConfig()):
+    def __init__(
+        self,
+        trajectory: RawTrajectory,
+        config: StopMoveConfig = StopMoveConfig(),
+        backend: str = "numpy",
+    ):
         self._trajectory = trajectory
         self._config = config
-        self._batch = StopMoveDetector(config)
+        self._backend = backend
+        self._batch = StopMoveDetector(config, backend=backend)
         # Incrementally maintained state: pairwise speeds (speed between
         # point i and i+1), per-policy flags, the combined raw flags and the
-        # density resumption frontier.
+        # density resumption frontier.  Under the numpy backend the growing
+        # buffer is mirrored into columnar coordinate arrays so each advance
+        # runs the same vectorized flag kernels as the batch detector over
+        # just the open suffix.
         self._pair_speeds: List[float] = []
         self._velocity_flags: List[bool] = []
         self._density_flags: List[bool] = []
@@ -81,6 +94,9 @@ class IncrementalStopMoveDetector:
         self._density_frontier = 0
         self._sealed: List[Episode] = []
         self._finalized = False
+        self._xs = GrowableArray()
+        self._ys = GrowableArray()
+        self._ts = GrowableArray()
 
     @property
     def trajectory(self) -> RawTrajectory:
@@ -178,6 +194,8 @@ class IncrementalStopMoveDetector:
         policy = self._config.policy
         old_n = len(self._combined)
         changed_from = max(0, old_n - 1)
+        if self._backend == "numpy":
+            self._extend_coordinate_buffers(n)
         if policy in ("velocity", "hybrid"):
             self._extend_pair_speeds(n)
             threshold = self._config.speed_threshold
@@ -188,13 +206,26 @@ class IncrementalStopMoveDetector:
             old_frontier = self._density_frontier
             changed_from = min(changed_from, old_frontier)
             self._density_flags.extend([False] * (n - len(self._density_flags)))
-            self._density_frontier = expand_density_flags(
-                self._trajectory.points,
-                self._config.density_radius,
-                self._config.min_stop_duration,
-                self._density_flags,
-                start=old_frontier,
-            )
+            # The two expansions are bit-identical, so the open-region size
+            # cutoff only decides cost, never output.
+            if self._backend == "numpy" and n - old_frontier >= VECTOR_MIN_POINTS:
+                self._density_frontier = expand_density_flags_arrays(
+                    self._xs.view(),
+                    self._ys.view(),
+                    self._ts.view(),
+                    self._config.density_radius,
+                    self._config.min_stop_duration,
+                    self._density_flags,
+                    start=old_frontier,
+                )
+            else:
+                self._density_frontier = expand_density_flags(
+                    self._trajectory.points,
+                    self._config.density_radius,
+                    self._config.min_stop_duration,
+                    self._density_flags,
+                    start=old_frontier,
+                )
         del self._combined[changed_from:]
         for index in range(changed_from, n):
             if policy == "velocity":
@@ -217,10 +248,31 @@ class IncrementalStopMoveDetector:
                 start = index
         return episodes
 
+    def _extend_coordinate_buffers(self, n: int) -> None:
+        """Mirror points appended since the last advance into the column buffers."""
+        points = self._trajectory.points
+        for index in range(len(self._xs), n):
+            point = points[index]
+            self._xs.append(point.x)
+            self._ys.append(point.y)
+            self._ts.append(point.t)
+
     def _extend_pair_speeds(self, n: int) -> None:
         """Maintain ``speeds[i]`` between points ``i`` and ``i + 1`` (length ``n - 1``)."""
+        start = len(self._pair_speeds)
+        if start >= n - 1:
+            return
+        # Both computations are bit-identical; vectorize only decent batches.
+        if self._backend == "numpy" and n - 1 - start >= VECTOR_MIN_POINTS:
+            # Pair speed k needs points k and k + 1: one kernel sweep over the
+            # mirrored columns; drop the kernel's repeated-last-value padding.
+            speeds = consecutive_speeds(
+                self._xs.view(start, n), self._ys.view(start, n), self._ts.view(start, n)
+            )
+            self._pair_speeds.extend(speeds[:-1].tolist())
+            return
         points = self._trajectory.points
-        for index in range(len(self._pair_speeds), n - 1):
+        for index in range(start, n - 1):
             dt = points[index + 1].t - points[index].t
             distance = points[index].distance_to(points[index + 1])
             self._pair_speeds.append(distance / dt if dt > 0 else 0.0)
