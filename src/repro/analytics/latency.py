@@ -9,6 +9,7 @@ the mean per stage.
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -59,6 +60,25 @@ class LatencyProfile:
     def total(self, stage: str) -> float:
         """Total time spent in ``stage``."""
         return sum(self.samples.get(stage, ()))
+
+    def percentile(self, stage: str, fraction: float) -> float:
+        """Nearest-rank percentile of ``stage`` latencies (0 when unsampled).
+
+        ``fraction`` is in (0, 1]; the nearest-rank method returns an actual
+        observed sample, which keeps tail numbers honest for the small
+        per-trajectory sample counts of the Figure 17 benchmark.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must lie in (0, 1]")
+        values = sorted(self.samples.get(stage, []))
+        if not values:
+            return 0.0
+        rank = max(1, math.ceil(fraction * len(values)))
+        return values[rank - 1]
+
+    def p95(self, stage: str) -> float:
+        """95th-percentile latency of ``stage`` (nearest rank)."""
+        return self.percentile(stage, 0.95)
 
     def means(self) -> Dict[str, float]:
         """Mean latency per stage."""

@@ -273,11 +273,38 @@ class ComputeConfig:
     backend: str = "numpy"
     """Either ``"numpy"`` (vectorized batch kernels) or ``"python"`` (scalar)."""
 
+    index_backend: str = "auto"
+    """Spatial-index backend for the annotation hot paths.
+
+    ``"flat"`` compiles each frozen source index (region R-tree, road-network
+    R-tree, POI grid) into the read-only numpy-backed
+    :class:`~repro.index.flat.FlatSpatialIndex` and issues **batch** queries —
+    one per trajectory/episode/micro-batch — instead of one scalar tree query
+    per GPS point; ``"tree"`` keeps every query on the scalar indexes, which
+    remain the reference oracle.  ``"auto"`` (the default) selects ``"flat"``
+    when ``backend`` is ``"numpy"`` and ``"tree"`` otherwise.  Both backends
+    produce byte-identical canonical output: the flat index returns the same
+    result sets in the same order with bit-identical distances (see
+    :mod:`repro.index.flat`).
+    """
+
     def __post_init__(self) -> None:
         if self.backend not in ("numpy", "python"):
             raise ConfigurationError(
                 f"unknown compute backend {self.backend!r}; expected 'numpy' or 'python'"
             )
+        if self.index_backend not in ("auto", "flat", "tree"):
+            raise ConfigurationError(
+                f"unknown index backend {self.index_backend!r}; "
+                "expected 'auto', 'flat' or 'tree'"
+            )
+
+    @property
+    def resolved_index_backend(self) -> str:
+        """The effective index backend: ``"flat"`` or ``"tree"``."""
+        if self.index_backend == "auto":
+            return "flat" if self.backend == "numpy" else "tree"
+        return self.index_backend
 
 
 @dataclass(frozen=True)

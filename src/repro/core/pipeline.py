@@ -72,12 +72,16 @@ class LayerAnnotators:
         """Construct the annotators for every source that is available.
 
         The compute backend of ``config.compute`` is threaded into the line
-        and point layers, whose per-point hot paths have vectorized kernels.
+        and point layers, whose per-point hot paths have vectorized kernels;
+        the resolved index backend is threaded into all three layers so their
+        spatial joins issue batch flat-index queries (``"flat"``) or scalar
+        tree walks (``"tree"``).
         """
         backend = config.compute.backend
+        index_backend = config.compute.resolved_index_backend
         return cls(
             region=(
-                RegionAnnotator(sources.regions, config.region)
+                RegionAnnotator(sources.regions, config.region, index_backend=index_backend)
                 if sources.regions is not None
                 else None
             ),
@@ -87,12 +91,15 @@ class LayerAnnotators:
                     matching_config=config.map_matching,
                     transport_config=config.transport,
                     backend=backend,
+                    index_backend=index_backend,
                 )
                 if sources.road_network is not None
                 else None
             ),
             point=(
-                PointAnnotator(sources.pois, config.point, backend=backend)
+                PointAnnotator(
+                    sources.pois, config.point, backend=backend, index_backend=index_backend
+                )
                 if sources.pois is not None
                 else None
             ),

@@ -198,10 +198,18 @@ class BoundingBox:
         return self.intersection(other).area
 
     def min_distance_to_point(self, point: Point) -> float:
-        """Smallest planar distance from ``point`` to the rectangle (0 if inside)."""
+        """Smallest planar distance from ``point`` to the rectangle (0 if inside).
+
+        Computed as ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot`` — like
+        :meth:`Point.distance_to`, this exact operation sequence is what the
+        batch kernels of :mod:`repro.index.flat` replicate elementwise, so the
+        scalar indexes and the flat batch indexes agree bit-for-bit on box
+        distances (CPython's ``hypot`` uses its own higher-precision algorithm
+        that numpy does not reproduce).
+        """
         dx = max(self.min_x - point.x, 0.0, point.x - self.max_x)
         dy = max(self.min_y - point.y, 0.0, point.y - self.max_y)
-        return math.hypot(dx, dy)
+        return math.sqrt(dx * dx + dy * dy)
 
 
 class Polygon:

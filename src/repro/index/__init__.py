@@ -4,10 +4,14 @@ The paper indexes semantic regions, road segments and POIs with an R*-tree
 ([2] in the paper) so that each annotation layer touches only the geographic
 objects near a GPS point.  This package provides a pure-Python R-tree with
 R*-style insertion heuristics and STR bulk loading, plus a simpler uniform
-grid index used when the data is already cell-aligned (landuse).
+grid index used when the data is already cell-aligned (landuse), and a
+read-only numpy-compiled :class:`FlatSpatialIndex` that answers whole
+coordinate batches at once with results provably identical to the scalar
+indexes it is compiled from.
 """
 
 from repro.index.rtree import RTree, RTreeEntry
 from repro.index.grid_index import GridIndex
+from repro.index.flat import BatchQueryResult, FlatSpatialIndex
 
-__all__ = ["RTree", "RTreeEntry", "GridIndex"]
+__all__ = ["RTree", "RTreeEntry", "GridIndex", "FlatSpatialIndex", "BatchQueryResult"]

@@ -5,6 +5,20 @@ samples).  The paper notes that for well-divided landuse data the region
 annotation complexity drops to O(n); the grid index is what makes that true in
 this reproduction: cell lookups are O(1) and range queries touch only the
 cells overlapping the query window.
+
+Result ordering contract
+------------------------
+The **row** of an indexed point is its position in the sequence obtained by
+visiting the occupied cells in lexicographic ``(cell_x, cell_y)`` order and
+each cell's bucket in insertion order.  :meth:`GridIndex.query_box` iterates
+cells with ``cell_x`` as the outer loop and ``cell_y`` inner — i.e. in
+exactly that lexicographic order — so box matches come out in ascending row
+order; :meth:`GridIndex.query_radius` and :meth:`GridIndex.nearest` stable-sort
+those candidates by distance, so equal-distance points (including coincident
+points) stay in row order and every result is in ``(distance, row)`` order.
+:class:`repro.index.flat.FlatSpatialIndex` lays its columns out in the same
+row order and sorts by the same keys, making batch and scalar grid queries
+provably order-identical.
 """
 
 from __future__ import annotations

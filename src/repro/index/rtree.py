@@ -13,6 +13,28 @@ query point.  This module implements:
 
 Queries supported: bounding-box range search, point queries, nearest
 neighbours (best-first with a priority queue) and "within distance" searches.
+
+Result ordering contract
+------------------------
+Every query's result order is fully determined by the *structural order* of
+the tree: the left-to-right order in which a depth-first walk (children in
+list order) visits the leaf entries.  Entry ``i`` in that walk has **row**
+``i``; rows are stable until the next :meth:`RTree.insert`.
+
+* :meth:`RTree.search` / :meth:`RTree.query_point` return matches in
+  ascending row order (the pruned DFS visits surviving leaves left to right).
+* :meth:`RTree.within_distance` sorts by ``(distance, row)``: the stable sort
+  over the row-ordered candidate list keeps equal-distance entries — including
+  duplicate bounding boxes — in row order.
+* :meth:`RTree.nearest` returns ``(distance, row)`` order too: the best-first
+  heap breaks ties by expanding nodes before emitting equal-distance entries
+  and by comparing entry rows, so equal-distance neighbours come out in row
+  order rather than in incidental heap order.
+
+:class:`repro.index.flat.FlatSpatialIndex` compiles the same rows into
+contiguous arrays and its batch queries sort by exactly these keys, which is
+what makes the scalar tree and the flat index provably — not accidentally —
+order-identical (see ``tests/test_index_ordering.py``).
 """
 
 from __future__ import annotations
@@ -37,13 +59,16 @@ class RTreeEntry:
 class _Node:
     """Internal R-tree node; leaves hold :class:`RTreeEntry`, others hold nodes."""
 
-    __slots__ = ("is_leaf", "entries", "children", "box")
+    __slots__ = ("is_leaf", "entries", "children", "box", "row_start")
 
     def __init__(self, is_leaf: bool):
         self.is_leaf = is_leaf
         self.entries: List[RTreeEntry] = []
         self.children: List["_Node"] = []
         self.box: Optional[BoundingBox] = None
+        #: Structural row of this leaf's first entry (-1 until assigned by
+        #: :meth:`RTree._ensure_rows`); internal nodes keep -1.
+        self.row_start: int = -1
 
     def recompute_box(self) -> None:
         boxes: List[BoundingBox]
@@ -85,6 +110,7 @@ class RTree:
         self._root = _Node(is_leaf=True)
         self._size = 0
         self._frozen = False
+        self._rows_assigned = False
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -138,8 +164,11 @@ class RTree:
 
         A frozen tree is safe to share across worker processes (fork) or
         pickle into them as part of a read-only geographic snapshot — queries
-        never mutate nodes, so concurrent readers need no locking.
+        never mutate nodes, so concurrent readers need no locking.  Structural
+        rows are assigned here, eagerly, so the row-based ``nearest``
+        tie-break never has to write to the shared nodes after sealing.
         """
+        self._ensure_rows()
         self._frozen = True
         return self
 
@@ -153,6 +182,7 @@ class RTree:
         node, path = leaf
         node.entries.append(entry)
         self._size += 1
+        self._rows_assigned = False
         self._handle_overflow(node, path)
         self._refresh_path_boxes(node, path)
 
@@ -190,40 +220,52 @@ class RTree:
         count: int = 1,
         distance_fn: Optional[Callable[[Point, RTreeEntry], float]] = None,
     ) -> List[Tuple[float, RTreeEntry]]:
-        """The ``count`` entries nearest to ``point``.
+        """The ``count`` entries nearest to ``point``, in ``(distance, row)`` order.
 
         The search is best-first on the minimum box distance; an optional
         ``distance_fn`` refines the distance of leaf entries (e.g. exact
         point-segment distance instead of box distance).
+
+        Equal-distance ties are broken by structural row (see the module
+        docstring): the heap pops nodes *before* entries at the same distance
+        — a still-folded subtree whose box distance equals an entry's distance
+        may hide a smaller-row entry at that distance, and ``distance_fn``
+        never returns less than the box distance — and equal-distance entries
+        compare by their row, so the emitted order is exactly the order a
+        stable sort of all entries by ``(distance, row)`` would produce.
         """
         if count <= 0 or self._size == 0:
             return []
+        self._ensure_rows()
         counter = itertools.count()
-        heap: List[Tuple[float, int, bool, Any]] = []
+        # Heap key: (distance, 0 for nodes / 1 for entries, row-or-counter).
+        # Rows are unique across entries and counters across nodes, so the
+        # trailing payload is never compared.
+        heap: List[Tuple[float, int, int, Any]] = []
         if self._root.box is not None:
             heapq.heappush(
-                heap, (self._root.box.min_distance_to_point(point), next(counter), False, self._root)
+                heap, (self._root.box.min_distance_to_point(point), 0, next(counter), self._root)
             )
         results: List[Tuple[float, RTreeEntry]] = []
         while heap and len(results) < count:
-            distance, _, is_entry, payload = heapq.heappop(heap)
+            distance, is_entry, _, payload = heapq.heappop(heap)
             if is_entry:
                 results.append((distance, payload))
                 continue
             node: _Node = payload
             if node.is_leaf:
-                for entry in node.entries:
+                for position, entry in enumerate(node.entries):
                     if distance_fn is not None:
                         entry_distance = distance_fn(point, entry)
                     else:
                         entry_distance = entry.box.min_distance_to_point(point)
-                    heapq.heappush(heap, (entry_distance, next(counter), True, entry))
+                    heapq.heappush(heap, (entry_distance, 1, node.row_start + position, entry))
             else:
                 for child in node.children:
                     if child.box is None:
                         continue
                     heapq.heappush(
-                        heap, (child.box.min_distance_to_point(point), next(counter), False, child)
+                        heap, (child.box.min_distance_to_point(point), 0, next(counter), child)
                     )
         return results
 
@@ -260,6 +302,22 @@ class RTree:
                 stack.extend(node.children)
 
     # -------------------------------------------------------------- internals
+    def _ensure_rows(self) -> None:
+        """Assign each leaf its structural row range (lazy, invalidated by insert)."""
+        if self._rows_assigned:
+            return
+        next_row = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                node.row_start = next_row
+                next_row += len(node.entries)
+            else:
+                # Reversed so the list-order DFS (the search order) pops first.
+                stack.extend(reversed(node.children))
+        self._rows_assigned = True
+
     def _search_node(self, node: _Node, box: BoundingBox, out: List[RTreeEntry]) -> None:
         if node.box is None or not node.box.intersects(box):
             return

@@ -29,8 +29,11 @@ class LineAnnotator:
         matching_config: MapMatchingConfig = MapMatchingConfig(),
         transport_config: TransportModeConfig = TransportModeConfig(),
         backend: str = "numpy",
+        index_backend: str = "tree",
     ):
-        self._matcher = GlobalMapMatcher(network, matching_config, backend=backend)
+        self._matcher = GlobalMapMatcher(
+            network, matching_config, backend=backend, index_backend=index_backend
+        )
         self._classifier = TransportModeClassifier(transport_config)
 
     @property

@@ -22,6 +22,7 @@ from repro.core.errors import SourceError
 from repro.core.places import LineOfInterest
 from repro.geometry.distance import point_segment_distance
 from repro.geometry.primitives import BoundingBox, Point, Segment
+from repro.index.flat import FlatSpatialIndex
 from repro.index.rtree import RTree, RTreeEntry
 
 
@@ -91,6 +92,7 @@ class RoadNetwork:
         )
         self._adjacency = self._build_adjacency()
         self._segment_arrays: Optional[SegmentArrays] = None
+        self._flat_index: Optional[FlatSpatialIndex] = None
 
     # ----------------------------------------------------------- basic access
     def __len__(self) -> int:
@@ -165,6 +167,34 @@ class RoadNetwork:
         if max_candidates is not None:
             candidates = candidates[:max_candidates]
         return candidates
+
+    def flat_index(self) -> FlatSpatialIndex:
+        """The batch flat index over the segments (built on first use).
+
+        Compiling freezes the R-tree (segments never change after
+        construction); distance queries refine by the exact point-segment
+        distance of Equation 1, like :meth:`candidate_segments` does.
+        """
+        if self._flat_index is None:
+            self._flat_index = FlatSpatialIndex.from_rtree(
+                self._index, segment_of=lambda segment: segment.segment
+            )
+        return self._flat_index
+
+    def candidate_segments_batch(
+        self,
+        positions: Sequence[Point],
+        radius: float,
+        max_candidates: Optional[int] = None,
+    ) -> List[List[Tuple[float, LineOfInterest]]]:
+        """Batch :meth:`candidate_segments`: one flat query for a whole episode.
+
+        Per point, the candidate list — distances, segments, order and
+        ``max_candidates`` truncation — is identical to the scalar method.
+        """
+        return self.flat_index().within_distance_pairs(
+            positions, radius, max_results=max_candidates
+        )
 
     def nearest_segment(self, point: Point) -> Tuple[float, LineOfInterest]:
         """The single nearest segment to ``point`` (exact point-segment distance)."""

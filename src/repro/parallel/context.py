@@ -48,6 +48,16 @@ class GeoContext:
                 sources.road_network.segment_arrays()
             if sources.pois is not None:
                 sources.pois.coordinate_arrays()
+        # Likewise pre-compile the flat batch indexes once: parallel workers
+        # and the streaming engine then share the read-only arrays zero-copy
+        # under fork instead of each compiling their own copy lazily.
+        if config.compute.resolved_index_backend == "flat":
+            if sources.regions is not None:
+                sources.regions.flat_index()
+            if sources.road_network is not None:
+                sources.road_network.flat_index()
+            if sources.pois is not None:
+                sources.pois.flat_index()
 
     @classmethod
     def build(cls, sources: AnnotationSources, config: PipelineConfig = PipelineConfig()) -> "GeoContext":
@@ -88,4 +98,5 @@ class GeoContext:
             self._sources.road_network,
             self._config.map_matching,
             backend=self._config.compute.backend,
+            index_backend=self._config.compute.resolved_index_backend,
         )

@@ -30,10 +30,14 @@ class PointAnnotator:
         config: PointAnnotationConfig = PointAnnotationConfig(),
         transitions: Optional[Dict[str, Dict[str, float]]] = None,
         backend: str = "numpy",
+        index_backend: str = "tree",
     ):
         self._source = source
         self._config = config
-        self._observation_model = PoiObservationModel(source, config, backend=backend)
+        self._index_backend = index_backend
+        self._observation_model = PoiObservationModel(
+            source, config, backend=backend, index_backend=index_backend
+        )
         categories = self._observation_model.categories
         self._hmm = HiddenMarkovModel(
             states=categories,
@@ -42,6 +46,7 @@ class PointAnnotator:
             if transitions is not None
             else diagonal_transitions(categories, config.self_transition),
             min_probability=config.min_probability,
+            backend=backend,
         )
 
     @property
@@ -68,6 +73,10 @@ class PointAnnotator:
         if not stops:
             return []
         observations = [stop.center() for stop in stops]
+        if self._index_backend == "flat":
+            # One batch index query fills the cell cache for every stop the
+            # Viterbi recurrence is about to score (n_states lookups each).
+            self._observation_model.prime(observations)
         result = self._hmm.viterbi(
             observations,
             observation_fn=lambda state, observation: self._observation_model.probability(

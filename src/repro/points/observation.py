@@ -14,7 +14,7 @@ box" optimisation of Figure 7).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,10 +48,12 @@ class PoiObservationModel:
         source: PoiSource,
         config: PointAnnotationConfig = PointAnnotationConfig(),
         backend: str = "numpy",
+        index_backend: str = "tree",
     ):
         self._source = source
         self._config = config
         self._backend = backend
+        self._index_backend = index_backend
         self._categories = source.categories()
         self._category_index = {category: i for i, category in enumerate(self._categories)}
         bounds = source.bounds().expanded(config.neighbor_radius)
@@ -95,6 +97,41 @@ class PoiObservationModel:
         """``Pr(o | category)`` using the stop episode's centre as the observation."""
         return self.probability(category, episode.center())
 
+    def prime(self, points: Sequence[Point]) -> int:
+        """Pre-compute the cell probabilities every point in ``points`` will hit.
+
+        Under the flat index backend the uncached cells' neighbour sets are
+        fetched with **one** batch query (instead of one grid walk per cell
+        per state during Viterbi decoding); the per-cell accumulation then
+        follows the active compute backend, so the cached values are identical
+        to what the lazy per-cell path would have produced.  Returns the
+        number of cells computed; points outside the grid are skipped (they
+        take the exact-evaluation path like the scalar code).
+        """
+        pending: List[Tuple[int, int]] = []
+        seen = set(self._cell_cache)
+        for point in points:
+            cell = self._grid.cell_of(point)
+            if cell is None or cell in seen:
+                continue
+            seen.add(cell)
+            pending.append(cell)
+        if not pending:
+            return 0
+        centers = [self._grid.cell_center(cell) for cell in pending]
+        if self._index_backend == "flat":
+            neighbor_lists = self._source.pois_within_batch(
+                centers, self._config.neighbor_radius
+            )
+        else:
+            neighbor_lists = [
+                self._source.pois_within(center, self._config.neighbor_radius)
+                for center in centers
+            ]
+        for cell, center, neighbors in zip(pending, centers, neighbor_lists):
+            self._cell_cache[cell] = self._probabilities_from_neighbors(center, neighbors)
+        return len(pending)
+
     def category_scores(self, stop_center: Point) -> Dict[str, float]:
         """All category probabilities for one stop (normalised to sum to 1)."""
         raw = {category: self.probability(category, stop_center) for category in self._categories}
@@ -125,6 +162,15 @@ class PoiObservationModel:
     def _exact_probabilities(self, point: Point) -> Dict[str, float]:
         """Lemma 1: sum the Gaussian influence of neighbouring POIs per category."""
         neighbors = self._source.pois_within(point, self._config.neighbor_radius)
+        return self._probabilities_from_neighbors(point, neighbors)
+
+    def _probabilities_from_neighbors(self, point: Point, neighbors) -> Dict[str, float]:
+        """Per-category Gaussian sums over an already-fetched neighbour list.
+
+        The accumulation path depends only on the compute backend and the
+        neighbour set — never on which index produced the set — so the flat
+        batch priming and the lazy per-cell path cache identical values.
+        """
         # The cutoff is a deterministic function of the neighbour set, so
         # every execution mode evaluates a given cell the same way.
         if self._backend == "numpy" and len(neighbors) >= _VECTOR_MIN_NEIGHBORS:

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.errors import SourceError
 from repro.core.places import PointOfInterest
 from repro.geometry.primitives import BoundingBox, Point
+from repro.index.flat import FlatSpatialIndex
 from repro.index.grid_index import GridIndex
 
 
@@ -72,6 +73,7 @@ class PoiSource:
         for poi in self._pois:
             self._index.insert(poi.location, poi)
         self._arrays: Optional[PoiArrays] = None
+        self._flat_index: Optional[FlatSpatialIndex] = None
 
     def __len__(self) -> int:
         return len(self._pois)
@@ -119,11 +121,28 @@ class PoiSource:
         total = sum(counts.values())
         return {category: count / total for category, count in counts.items()}
 
+    def flat_index(self) -> FlatSpatialIndex:
+        """The batch flat index compiled from the grid (built on first use).
+
+        Compiling freezes the grid (the POI set never grows after
+        construction); batch queries return the same POIs in the same
+        ``(distance, row)`` order as :meth:`pois_within`.
+        """
+        if self._flat_index is None:
+            self._flat_index = FlatSpatialIndex.from_grid(self._index)
+        return self._flat_index
+
     def pois_within(self, center: Point, radius: float) -> List[Tuple[float, PointOfInterest]]:
         """POIs within ``radius`` of ``center``, sorted by distance."""
         return [
             (distance, poi) for distance, _, poi in self._index.query_radius(center, radius)
         ]
+
+    def pois_within_batch(
+        self, centers: Sequence[Point], radius: float
+    ) -> List[List[Tuple[float, PointOfInterest]]]:
+        """Batch :meth:`pois_within`: one flat-index query for all centres."""
+        return self.flat_index().within_distance_pairs(centers, radius)
 
     def pois_in_box(self, box: BoundingBox) -> List[PointOfInterest]:
         """POIs falling inside a query rectangle."""

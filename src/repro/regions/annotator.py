@@ -15,17 +15,29 @@ from repro.core.annotations import region_annotation
 from repro.core.config import RegionAnnotationConfig
 from repro.core.episodes import Episode, EpisodeKind
 from repro.core.places import RegionOfInterest
-from repro.core.points import RawTrajectory
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
 from repro.core.trajectory import SemanticEpisodeRecord, StructuredSemanticTrajectory
 from repro.regions.sources import RegionSource
+
+#: Point batches below this stay on the scalar tree even under the flat index
+#: backend (the fixed per-call overhead of the batch arrays would dominate).
+#: The results are identical either way — the flat index is order- and
+#: bit-parity with the tree — so the cutoff only selects a code path.
+_FLAT_MIN_BATCH = 8
 
 
 class RegionAnnotator:
     """Implements Algorithm 1: trajectory annotation with ROIs."""
 
-    def __init__(self, source: RegionSource, config: RegionAnnotationConfig = RegionAnnotationConfig()):
+    def __init__(
+        self,
+        source: RegionSource,
+        config: RegionAnnotationConfig = RegionAnnotationConfig(),
+        index_backend: str = "tree",
+    ):
         self._source = source
         self._config = config
+        self._index_backend = index_backend
 
     @property
     def source(self) -> RegionSource:
@@ -36,6 +48,21 @@ class RegionAnnotator:
     def config(self) -> RegionAnnotationConfig:
         """The active region-annotation configuration."""
         return self._config
+
+    @property
+    def index_backend(self) -> str:
+        """The active spatial-index backend (``"flat"`` or ``"tree"``)."""
+        return self._index_backend
+
+    def _regions_for_points(
+        self, points: Sequence[SpatioTemporalPoint]
+    ) -> List[Optional[RegionOfInterest]]:
+        """Region of every GPS point: one batch flat query or per-point tree walks."""
+        if self._index_backend == "flat" and len(points) >= _FLAT_MIN_BATCH:
+            return self._source.first_regions_containing_batch(
+                [point.position for point in points]
+            )
+        return [self._source.first_region_containing(point.position) for point in points]
 
     # ------------------------------------------------------------ Algorithm 1
     def annotate_trajectory(self, trajectory: RawTrajectory) -> StructuredSemanticTrajectory:
@@ -53,9 +80,7 @@ class RegionAnnotator:
         group_start: Optional[int] = None
 
         points = trajectory.points
-        regions: List[Optional[RegionOfInterest]] = [
-            self._source.first_region_containing(point.position) for point in points
-        ]
+        regions: List[Optional[RegionOfInterest]] = self._regions_for_points(points)
 
         for index in range(len(points) + 1):
             region = regions[index] if index < len(points) else None
@@ -141,10 +166,15 @@ class RegionAnnotator:
         """The region covering the most GPS points of the episode."""
         counts: Dict[str, int] = {}
         by_id: Dict[str, RegionOfInterest] = {}
-        for point in episode.points:
-            if candidates is None:
-                region = self._source.first_region_containing(point.position)
+        episode_points = episode.points
+        point_regions: Optional[List[Optional[RegionOfInterest]]] = None
+        if candidates is None:
+            point_regions = self._regions_for_points(episode_points)
+        for index, point in enumerate(episode_points):
+            if point_regions is not None:
+                region = point_regions[index]
             else:
+                assert candidates is not None
                 region = next(
                     (candidate for candidate in candidates if candidate.contains(point.position)),
                     None,
@@ -167,8 +197,7 @@ class RegionAnnotator:
         """
         counts: Dict[str, int] = {}
         for trajectory in trajectories:
-            for point in trajectory:
-                region = self._source.first_region_containing(point.position)
+            for region in self._regions_for_points(trajectory.points):
                 if region is None:
                     continue
                 counts[region.category] = counts.get(region.category, 0) + 1

@@ -14,6 +14,7 @@ from repro.core.errors import SourceError
 from repro.core.places import RegionOfInterest
 from repro.geometry.predicates import polygon_intersects_bbox
 from repro.geometry.primitives import BoundingBox, Point, Polygon
+from repro.index.flat import FlatSpatialIndex
 from repro.index.rtree import RTree, RTreeEntry
 
 
@@ -28,6 +29,7 @@ class RegionSource:
         self._index = RTree.bulk_load(
             RTreeEntry(box=region.bounding_box(), item=region) for region in self._regions
         )
+        self._flat_index: Optional[FlatSpatialIndex] = None
 
     def __len__(self) -> int:
         return len(self._regions)
@@ -36,6 +38,18 @@ class RegionSource:
         """Seal the source's R-tree for read-only sharing across workers."""
         self._index.freeze()
         return self
+
+    def flat_index(self) -> FlatSpatialIndex:
+        """The batch flat index compiled from the R-tree (built on first use).
+
+        Compiling freezes the R-tree (the source never grows after
+        construction); :class:`~repro.parallel.context.GeoContext` compiles
+        eagerly so forked workers and the streaming engine share the arrays
+        zero-copy.
+        """
+        if self._flat_index is None:
+            self._flat_index = FlatSpatialIndex.from_rtree(self._index)
+        return self._flat_index
 
     @property
     def regions(self) -> List[RegionOfInterest]:
@@ -73,6 +87,28 @@ class RegionSource:
         if not matches:
             return None
         return min(matches, key=lambda region: (region.area, region.place_id))
+
+    # ------------------------------------------------------------ batch paths
+    def regions_containing_batch(self, points: Sequence[Point]) -> List[List[RegionOfInterest]]:
+        """Batch :meth:`regions_containing`: one flat-index query for all points.
+
+        The candidate sets (index filter) and the exact containment filter
+        match the scalar path region for region, in the same order.
+        """
+        candidate_lists = self.flat_index().query_point_payloads(points)
+        return [
+            [region for region in candidates if region.contains(point)]
+            for point, candidates in zip(points, candidate_lists)
+        ]
+
+    def first_regions_containing_batch(
+        self, points: Sequence[Point]
+    ) -> List[Optional[RegionOfInterest]]:
+        """Batch :meth:`first_region_containing` over a whole coordinate batch."""
+        return [
+            min(matches, key=lambda region: (region.area, region.place_id)) if matches else None
+            for matches in self.regions_containing_batch(points)
+        ]
 
     def categories(self) -> List[str]:
         """Distinct categories appearing in the source, sorted."""

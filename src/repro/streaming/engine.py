@@ -117,6 +117,7 @@ class StreamingAnnotationEngine:
                     sources.road_network,
                     config.map_matching,
                     backend=config.compute.backend,
+                    index_backend=config.compute.resolved_index_backend,
                 )
                 if sources.road_network is not None
                 else None

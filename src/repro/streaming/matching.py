@@ -50,10 +50,14 @@ class WindowedMapMatcher:
         network: RoadNetwork,
         config: MapMatchingConfig = MapMatchingConfig(),
         backend: str = "numpy",
+        index_backend: str = "tree",
     ):
-        self._matcher = GlobalMapMatcher(network, config, backend=backend)
+        self._matcher = GlobalMapMatcher(
+            network, config, backend=backend, index_backend=index_backend
+        )
         self._config = config
         self._backend = backend
+        self._index_backend = index_backend
         self._points: List[SpatioTemporalPoint] = []
         self._local: List[Dict[str, Tuple[float, LineOfInterest]]] = []
         self._xs = GrowableArray()
@@ -83,10 +87,23 @@ class WindowedMapMatcher:
         return len(self._points) - self._emitted
 
     # ------------------------------------------------------------------ feed
-    def push(self, point: SpatioTemporalPoint) -> List[MatchedPoint]:
-        """Feed the next point of the episode; returns newly final matches."""
+    def push(
+        self,
+        point: SpatioTemporalPoint,
+        local_scores: Optional[Dict[str, Tuple[float, LineOfInterest]]] = None,
+    ) -> List[MatchedPoint]:
+        """Feed the next point of the episode; returns newly final matches.
+
+        ``local_scores`` lets a caller hand in the point's precomputed
+        Equation 2 scores (the micro-batched flat-index path of
+        :meth:`match_stream`); when omitted they are computed here, one index
+        query per point.  Both paths produce identical scores, so mixing them
+        within an episode is safe.
+        """
         self._points.append(point)
-        self._local.append(self._matcher.local_scores(point))
+        self._local.append(
+            local_scores if local_scores is not None else self._matcher.local_scores(point)
+        )
         self._xs.append(point.x)
         self._ys.append(point.y)
         return self._drain(closed=False)
@@ -103,12 +120,23 @@ class WindowedMapMatcher:
         return remaining
 
     def match_stream(self, points: List[SpatioTemporalPoint]) -> List[MatchedPoint]:
-        """Convenience: push every point of a complete episode, then finish."""
+        """Convenience: push every point of a complete episode, then finish.
+
+        Under the flat index backend the Equation 2 local scores of the whole
+        episode are precomputed with one batch index query (this is how the
+        streaming engine consumes sealed move episodes); the emission
+        schedule and every score stay identical to point-by-point pushing.
+        """
         if self._points:
             raise DataQualityError("matcher already has a stream in flight")
+        precomputed: Optional[List[Dict[str, Tuple[float, LineOfInterest]]]] = None
+        if self._index_backend == "flat" and points:
+            precomputed = self._matcher.batch_local_scores(points)
         matched: List[MatchedPoint] = []
-        for point in points:
-            matched.extend(self.push(point))
+        for index, point in enumerate(points):
+            matched.extend(
+                self.push(point, local_scores=precomputed[index] if precomputed else None)
+            )
         matched.extend(self.finish())
         return matched
 

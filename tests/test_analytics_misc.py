@@ -52,6 +52,23 @@ class TestLatency:
     def test_unknown_stage_mean_zero(self):
         assert LatencyProfile().mean("none") == 0.0
 
+    def test_percentile_nearest_rank(self):
+        profile = LatencyProfile()
+        for value in (0.5, 0.1, 0.3, 0.2, 0.4):  # unsorted on purpose
+            profile.add("s", value)
+        assert profile.percentile("s", 0.5) == pytest.approx(0.3)
+        assert profile.p95("s") == pytest.approx(0.5)  # nearest rank: an actual sample
+        assert profile.percentile("s", 1.0) == pytest.approx(0.5)
+        assert profile.p95("missing") == 0.0
+
+    def test_percentile_fraction_validated(self):
+        profile = LatencyProfile()
+        profile.add("s", 1.0)
+        with pytest.raises(ValueError):
+            profile.percentile("s", 0.0)
+        with pytest.raises(ValueError):
+            profile.percentile("s", 1.5)
+
     def test_merge(self):
         a, b = LatencyProfile(), LatencyProfile()
         a.add("s", 1.0)
