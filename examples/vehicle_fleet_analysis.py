@@ -39,10 +39,13 @@ def main() -> None:
     )
 
     # Stop/move computation + annotation, persisted into the semantic store.
+    # The `with store:` transaction scope commits the whole fleet atomically
+    # on success and rolls everything back if any stage raises.
     store = SemanticTrajectoryStore()
     pipeline = SeMiTriPipeline(PipelineConfig.for_vehicles(), store=store)
     sources = AnnotationSources(regions=world.region_source(), road_network=world.road_network())
-    results = pipeline.annotate_many(fleet.trajectories, sources, persist=True)
+    with store:
+        results = pipeline.annotate_many(fleet.trajectories, sources, persist=True)
 
     summary = store.stop_move_summary()
     print(

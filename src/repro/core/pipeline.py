@@ -6,6 +6,12 @@ layers (region, line, point), optionally persisting results in the semantic
 trajectory store and recording per-stage latencies for the Figure 17
 benchmark.
 
+Stage orchestration itself lives in :mod:`repro.engine`: the pipeline
+compiles a :class:`~repro.engine.plan.Plan` from its configuration and the
+supplied sources and hands it to a
+:class:`~repro.engine.executors.SequentialExecutor`, so batch, streaming and
+parallel execution all run the exact same stage graph.
+
 Annotation sources are supplied per call through :class:`AnnotationSources`;
 layers whose source is missing are simply skipped, producing the partial
 annotations the paper mentions for scenarios where third-party data is not
@@ -14,24 +20,29 @@ available (e.g. the sparse Lausanne POI set).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.analytics.latency import LatencyProfile, StageTimer
+from repro.analytics.latency import LatencyProfile
 from repro.core.config import PipelineConfig
 from repro.core.episodes import Episode
+from repro.core.errors import ConfigurationError
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
 from repro.core.trajectory import StructuredSemanticTrajectory
 from repro.lines.annotator import LineAnnotator
 from repro.lines.road_network import RoadNetwork
 from repro.points.annotator import PointAnnotator
 from repro.points.poi import PoiSource
-from repro.preprocessing.cleaning import GpsCleaner
-from repro.preprocessing.identification import TrajectoryIdentifier
-from repro.preprocessing.stops import StopMoveDetector
 from repro.regions.annotator import RegionAnnotator
 from repro.regions.sources import RegionSource
 from repro.store.store import SemanticTrajectoryStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.engine.plan import Plan
+
+    #: One compiled-plan cache entry: the id-anchoring objects plus the plan.
+    _CachedPlan = Tuple["LayerAnnotators", Optional["AnnotationSources"], "Plan"]
 
 
 @dataclass
@@ -144,11 +155,20 @@ class SeMiTriPipeline:
         config: PipelineConfig = PipelineConfig(),
         store: Optional[SemanticTrajectoryStore] = None,
     ):
+        from repro.engine import CleanStage, ComputeEpisodesStage, IdentifyStage
+
         self._config = config
         self._store = store
-        self._cleaner = GpsCleaner(config.cleaning, backend=config.compute.backend)
-        self._identifier = TrajectoryIdentifier(config.identification)
-        self._detector = StopMoveDetector(config.stop_move, backend=config.compute.backend)
+        self._clean_stage = CleanStage(config)
+        self._identify_stage = IdentifyStage(config)
+        self._episode_stage = ComputeEpisodesStage(config)
+        # Compiled plans for caller-supplied annotator bundles, keyed by
+        # (bundle id, sources id, persist) with both objects kept alive so
+        # the ids stay unambiguous; bounded FIFO so long-lived pipelines
+        # cannot pin an unbounded number of bundles.
+        self._plans: "OrderedDict[Tuple[int, Optional[int], bool], _CachedPlan]" = (
+            OrderedDict()
+        )
 
     @property
     def config(self) -> PipelineConfig:
@@ -165,17 +185,60 @@ class SeMiTriPipeline:
         self, points: Sequence[SpatioTemporalPoint], object_id: str = "unknown"
     ) -> List[RawTrajectory]:
         """Clean a GPS stream and split it into raw trajectories."""
-        cleaned = self._cleaner.clean(points)
-        return self._identifier.split(cleaned, object_id=object_id)
+        cleaned = self._clean_stage.apply(points)
+        return self._identify_stage.apply(cleaned, object_id=object_id)
 
     def compute_episodes(self, trajectory: RawTrajectory) -> List[Episode]:
         """Segment one trajectory into stop/move episodes."""
-        return self._detector.segment(trajectory)
+        return self._episode_stage.detector.segment(trajectory)
 
     # -------------------------------------------------------------- annotation
     def build_annotators(self, sources: AnnotationSources) -> LayerAnnotators:
         """Construct the layer annotators for the available sources."""
         return LayerAnnotators.build(sources, self._config)
+
+    #: Bounded size of the per-bundle compiled-plan cache.
+    _PLAN_CACHE_LIMIT = 8
+
+    def compile_plan(
+        self,
+        sources: Optional[AnnotationSources] = None,
+        annotators: Optional[LayerAnnotators] = None,
+        persist: bool = False,
+    ) -> "Plan":
+        """The compiled stage plan for the given sources/annotators.
+
+        When only ``sources`` are given the annotator bundle (and the plan)
+        is built fresh per call — sources may change between calls, so their
+        indexes are re-derived each time, exactly like the pre-engine
+        pipeline.  Plans for caller-supplied ``annotators`` bundles are
+        cached (bounded), so per-trajectory entry points like
+        :meth:`annotate_prepared` reuse the compiled stage graph.
+        """
+        from repro.engine import Plan
+
+        if annotators is None:
+            if sources is None:
+                raise ConfigurationError("compile_plan needs annotation sources or annotators")
+            return Plan.compile(
+                sources=sources, config=self._config, store=self._store, persist=persist
+            )
+        key = (id(annotators), None if sources is None else id(sources), persist)
+        cached = self._plans.get(key)
+        if cached is not None and cached[0] is annotators and cached[1] is sources:
+            self._plans.move_to_end(key)
+            return cached[2]
+        plan = Plan.compile(
+            sources=sources,
+            config=self._config,
+            annotators=annotators,
+            store=self._store,
+            persist=persist,
+        )
+        self._plans[key] = (annotators, sources, plan)
+        while len(self._plans) > self._PLAN_CACHE_LIMIT:
+            self._plans.popitem(last=False)
+        return plan
 
     def annotate(
         self,
@@ -192,7 +255,10 @@ class SeMiTriPipeline:
         annotations are written to the semantic trajectory store, and the
         storage time is included in the latency profile.
         """
-        return self._annotate_one(trajectory, self.build_annotators(sources), persist)
+        from repro.engine import SequentialExecutor
+
+        plan = self.compile_plan(sources, persist=persist)
+        return SequentialExecutor().run_one(plan, trajectory)
 
     def annotate_many(
         self,
@@ -210,9 +276,10 @@ class SeMiTriPipeline:
         skips even that one-time construction, which is how repeated batch
         calls and the parallel runner amortise index building across calls.
         """
-        if annotators is None:
-            annotators = self.build_annotators(sources)
-        return [self._annotate_one(trajectory, annotators, persist) for trajectory in trajectories]
+        from repro.engine import SequentialExecutor
+
+        plan = self.compile_plan(sources, annotators=annotators, persist=persist)
+        return SequentialExecutor().run(plan, trajectories)
 
     def annotate_prepared(
         self,
@@ -222,58 +289,14 @@ class SeMiTriPipeline:
     ) -> PipelineResult:
         """Annotate one trajectory with an already-built annotator bundle.
 
-        The entry point the sharded parallel runner uses inside worker
-        processes: the bundle comes from the shared read-only
-        :class:`~repro.parallel.GeoContext` snapshot, so no per-call index
-        construction happens.
+        The entry point prebuilt-bundle consumers use (e.g. a
+        :class:`~repro.parallel.GeoContext` snapshot): no per-call index
+        construction happens, only stage execution.
         """
-        return self._annotate_one(trajectory, annotators, persist)
+        from repro.engine import SequentialExecutor
 
-    def _annotate_one(
-        self,
-        trajectory: RawTrajectory,
-        annotators: LayerAnnotators,
-        persist: bool,
-    ) -> PipelineResult:
-        """Segment, annotate and optionally persist one raw trajectory.
-
-        The single code path behind :meth:`annotate` and :meth:`annotate_many`;
-        the streaming engine mirrors the same stage structure (and stage
-        names) while computing the episodes incrementally.
-        """
-        timer = StageTimer()
-        result = PipelineResult(trajectory=trajectory, episodes=[], latency=timer.profile)
-
-        with timer.stage("compute_episode"):
-            episodes = self._detector.segment(trajectory)
-        result.episodes = episodes
-
-        persist_enabled = persist and self._store is not None
-        if persist_enabled:
-            with timer.stage("store_episode"):
-                self._store.save_trajectory(trajectory)
-
-        if annotators.region is not None:
-            with timer.stage("landuse_join"):
-                result.region_trajectory = annotators.region.annotate_episodes(episodes)
-
-        if annotators.line is not None:
-            with timer.stage("map_match"):
-                result.line_trajectories = annotators.line.annotate_episodes(
-                    [episode for episode in episodes if episode.is_move]
-                )
-
-        stops = [episode for episode in episodes if episode.is_stop]
-        if annotators.point is not None and stops:
-            with timer.stage("poi_annotation"):
-                result.point_trajectory = annotators.point.annotate_stops(stops)
-                result.trajectory_category = annotators.point.classify_trajectory(stops)
-
-        if persist_enabled:
-            with timer.stage("store_match_result"):
-                self._store.save_episodes(episodes)
-
-        return result
+        plan = self.compile_plan(annotators=annotators, persist=persist)
+        return SequentialExecutor().run_one(plan, trajectory)
 
     # ---------------------------------------------------------------- analysis
     @staticmethod

@@ -1,0 +1,549 @@
+"""Pluggable executors that run a :class:`~repro.engine.plan.Plan`.
+
+Three executors drive the same compiled stage graph:
+
+* :class:`SequentialExecutor` — one trajectory at a time, in-process; the
+  batch mode of :meth:`SeMiTriPipeline.annotate_many`.  With
+  ``deferred_writeback=True`` the store stages are skipped during execution
+  and the merged batch is committed afterwards in one transaction (the
+  single-writer row ordering the sharded runtimes need).
+* :class:`ProcessPoolExecutor` — shards the batch by moving object, runs each
+  shard in a worker process against a shared immutable
+  :class:`~repro.parallel.context.GeoContext` snapshot and merges the
+  results back into input order; byte-identical to sequential execution.
+* :class:`MicroBatchExecutor` — the streaming session loop: events are
+  micro-batched into per-object sessions, sealed episodes flow through the
+  plan's incremental stage bodies and whole trajectories are finished (and
+  persisted) at close.
+
+Stage timing is owned here: executors wrap every stage body in the work
+item's :class:`~repro.analytics.latency.StageTimer` under the stage's name,
+so the Figure 17 latency vocabulary is emitted from exactly one place for
+every runtime.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import sys
+import time
+import weakref
+from concurrent.futures import ProcessPoolExecutor as _FuturesProcessPool
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ContextManager,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.episodes import Episode
+from repro.core.errors import ConfigurationError
+from repro.core.pipeline import PipelineResult
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.engine.plan import Plan
+from repro.engine.stages import MapMatchStage, WorkItem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycles broken at runtime
+    from repro.parallel.context import GeoContext
+    from repro.streaming.session import SealedTrajectory, Session, SessionUpdate
+
+# One shard of work: (shard index, [(input order, trajectory), ...]).
+Shard = Tuple[int, List[Tuple[int, RawTrajectory]]]
+
+
+# ---------------------------------------------------------------- stage loop
+def run_stages(
+    plan: Plan, trajectory: RawTrajectory, include_writeback: bool = True
+) -> PipelineResult:
+    """Run one trajectory through every stage of the plan, with timing.
+
+    The single per-trajectory execution loop behind every executor.  When the
+    plan persists (and ``include_writeback`` is true) the whole run happens
+    inside one store transaction scope — committed on success, rolled back if
+    any stage raises — so a trajectory is never half-persisted.
+    """
+    item = WorkItem.start(trajectory)
+    scope: ContextManager[object] = (
+        plan.store if plan.persist and include_writeback and plan.store is not None
+        else nullcontext()
+    )
+    with scope:
+        for stage in plan.stages:
+            if stage.writes_back and not include_writeback:
+                continue
+            if stage.ready(item):
+                with item.timer.stage(stage.name):
+                    stage.run(item)
+    return item.result
+
+
+def shard_by_object(trajectories: Sequence[RawTrajectory], shard_count: int) -> List[Shard]:
+    """Partition by object id into balanced shards, deterministically.
+
+    Objects are assigned greedily (in first-appearance order) to the
+    currently lightest shard, measured in GPS points — deterministic for a
+    given input, and robust to skewed per-object workloads.  All trajectories
+    of one object land in the same shard, which is what makes per-object
+    sharding a pure reordering of the sequential output.
+    """
+    by_object: Dict[str, List[Tuple[int, RawTrajectory]]] = {}
+    loads: Dict[str, int] = {}
+    for order, trajectory in enumerate(trajectories):
+        by_object.setdefault(trajectory.object_id, []).append((order, trajectory))
+        loads[trajectory.object_id] = loads.get(trajectory.object_id, 0) + len(trajectory)
+    shard_count = max(1, min(shard_count, len(by_object)))
+    shards: List[List[Tuple[int, RawTrajectory]]] = [[] for _ in range(shard_count)]
+    shard_loads = [0] * shard_count
+    for object_id, items in by_object.items():
+        target = min(range(shard_count), key=lambda index: (shard_loads[index], index))
+        shards[target].extend(items)
+        shard_loads[target] += loads[object_id]
+    return [(index, items) for index, items in enumerate(shards) if items]
+
+
+def merge_shard_results(
+    plan: Plan,
+    count: int,
+    shard_results: Iterable[Tuple[int, List[Tuple[int, PipelineResult]]]],
+) -> List[PipelineResult]:
+    """Merge per-shard results into input order and commit deferred write-back.
+
+    The merge is a pure reordering; when the plan persists, the merged rows
+    go through a :class:`ShardedStoreWriter` into one transaction with the
+    exact row order a single sequential writer would produce.
+    """
+    from repro.parallel.store_writer import ShardedStoreWriter  # deferred: import cycle
+
+    ordered: Dict[int, PipelineResult] = {}
+    writer = (
+        ShardedStoreWriter(plan.store) if plan.persist and plan.store is not None else None
+    )
+    for shard_index, items in shard_results:
+        for order, result in items:
+            ordered[order] = result
+            if writer is not None:
+                writer.add_result(shard_index, order, result)
+    if writer is not None:
+        writer.commit()
+    return [ordered[index] for index in range(count)]
+
+
+# ------------------------------------------------------------------ executors
+class Executor(abc.ABC):
+    """Something that can run a compiled plan over a batch of trajectories."""
+
+    #: Short identifier used in configuration and reporting.
+    kind: str = ""
+
+    @abc.abstractmethod
+    def run(self, plan: Plan, trajectories: Sequence[RawTrajectory]) -> List[PipelineResult]:
+        """Annotate the batch; results come back in input order."""
+
+
+class SequentialExecutor(Executor):
+    """In-process, one trajectory at a time — the batch reference executor."""
+
+    kind = "sequential"
+
+    def __init__(self, deferred_writeback: bool = False):
+        self._deferred = deferred_writeback
+
+    def run(self, plan: Plan, trajectories: Sequence[RawTrajectory]) -> List[PipelineResult]:
+        if self._deferred and plan.persist:
+            results = [
+                run_stages(plan, trajectory, include_writeback=False)
+                for trajectory in trajectories
+            ]
+            return merge_shard_results(
+                plan, len(results), [(0, list(enumerate(results)))]
+            )
+        return [run_stages(plan, trajectory) for trajectory in trajectories]
+
+    def run_one(self, plan: Plan, trajectory: RawTrajectory) -> PipelineResult:
+        """Annotate a single trajectory (inline write-back when persisting)."""
+        return run_stages(plan, trajectory)
+
+
+# Worker-process state, set once by the pool initializer.  Under the ``fork``
+# start method the snapshot travels to the children as inherited copy-on-write
+# memory (the ``_FORK_CONTEXTS`` registry, keyed per pool so concurrent
+# executors cannot cross-contaminate lazily-forked workers); under ``spawn``
+# it is pickled once per worker through the initializer arguments.
+_FORK_CONTEXTS: Dict[int, GeoContext] = {}
+_FORK_TOKENS = iter(range(1, 2**62))
+_WORKER_PLAN: Optional[Plan] = None
+
+
+def _init_worker(token: Optional[int], pickled_context: Optional[GeoContext]) -> None:
+    global _WORKER_PLAN
+    context = _FORK_CONTEXTS.get(token) if token is not None else None
+    if context is None:
+        context = pickled_context
+    assert context is not None, "worker started without a GeoContext"
+    # Workers never persist (they cannot share the store connection), so the
+    # worker-side plan is compiled without a store; write-back happens in the
+    # parent after the merge.
+    _WORKER_PLAN = Plan.from_context(context)
+
+
+def _annotate_shard(shard: Shard) -> Tuple[int, List[Tuple[int, PipelineResult]]]:
+    """Annotate one shard inside a worker process (never persists)."""
+    shard_index, items = shard
+    assert _WORKER_PLAN is not None, "worker used before initialization"
+    return shard_index, [
+        (order, run_stages(_WORKER_PLAN, trajectory)) for order, trajectory in items
+    ]
+
+
+def _release_pool_resources(pool: _FuturesProcessPool, fork_token: Optional[int]) -> None:
+    """Tear down an executor's pool and fork-registry entry (close() or GC)."""
+    if fork_token is not None:
+        _FORK_CONTEXTS.pop(fork_token, None)
+    pool.shutdown(wait=False)
+
+
+class ProcessPoolExecutor(Executor):
+    """Sharded execution on a pool of worker processes.
+
+    The batch is partitioned by moving object into balanced shards; each
+    shard is annotated in a worker against the plan's immutable
+    :class:`GeoContext` snapshot and the results are merged back into input
+    order, byte-identical to sequential execution.  The pool (primed with
+    one snapshot) is kept warm across ``run`` calls for plans built from the
+    same snapshot.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: int = 2, shards_per_worker: int = 2):
+        if workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        self._workers = workers
+        self._shards_per_worker = shards_per_worker
+        self._pool: Optional[_FuturesProcessPool] = None
+        self._pool_context: Optional[GeoContext] = None
+        self._fork_token: Optional[int] = None
+        self._pool_finalizer: Optional[weakref.finalize] = None
+
+    @property
+    def workers(self) -> int:
+        """Number of worker processes the pool uses."""
+        return self._workers
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()  # pops the fork registry and stops workers
+            self._pool_finalizer = None
+        self._pool = None
+        self._pool_context = None
+        self._fork_token = None
+
+    def __enter__(self) -> "ProcessPoolExecutor":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- execution
+    def run(self, plan: Plan, trajectories: Sequence[RawTrajectory]) -> List[PipelineResult]:
+        trajectories = list(trajectories)
+        if not trajectories:
+            return []
+        shard_count = max(1, min(self._workers * self._shards_per_worker, len(trajectories)))
+        shards = shard_by_object(trajectories, shard_count)
+        if len(shards) == 1:
+            # A single shard gains nothing from the pool; run it inline.
+            shard_results = [
+                (
+                    shard_index,
+                    [
+                        (order, run_stages(plan, trajectory, include_writeback=False))
+                        for order, trajectory in items
+                    ],
+                )
+                for shard_index, items in shards
+            ]
+        else:
+            pool = self._ensure_pool(plan.geo_context())
+            shard_results = list(pool.map(_annotate_shard, shards))
+        return merge_shard_results(plan, len(trajectories), shard_results)
+
+    def _ensure_pool(self, context: GeoContext) -> _FuturesProcessPool:
+        if self._pool is not None:
+            if self._pool_context is context:
+                return self._pool
+            self.close()  # a pool primed with another snapshot is stale
+        # Prefer fork only where it is the safe platform default (Linux);
+        # macOS forks can crash inside frameworks the parent already loaded.
+        if sys.platform == "linux":
+            mp_context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-Linux platforms
+            mp_context = multiprocessing.get_context()
+        if mp_context.get_start_method() == "fork":
+            # Children inherit the snapshot as copy-on-write memory; the
+            # registry entry lives until close() so late worker forks see it.
+            self._fork_token = next(_FORK_TOKENS)
+            _FORK_CONTEXTS[self._fork_token] = context
+            initargs: Tuple[Optional[int], Optional[GeoContext]] = (self._fork_token, None)
+        else:  # pragma: no cover - non-POSIX platforms
+            initargs = (None, context)
+        self._pool = _FuturesProcessPool(
+            max_workers=self._workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=initargs,
+        )
+        self._pool_context = context
+        # If the executor is garbage collected without close(), stop the
+        # worker processes and drop the registry entry instead of leaking both.
+        self._pool_finalizer = weakref.finalize(
+            self, _release_pool_resources, self._pool, self._fork_token
+        )
+        return self._pool
+
+
+# ------------------------------------------------------------- micro-batching
+@dataclass
+class EngineStats:
+    """Counters a micro-batch executor maintains while processing the stream."""
+
+    events: int = 0
+    results: int = 0
+    episodes_sealed: int = 0
+    trajectories_discarded: int = 0
+    processing_passes: int = 0
+
+
+class MicroBatchExecutor(Executor):
+    """The streaming session loop as a plan executor.
+
+    Events are buffered into micro-batches
+    (``plan.config.streaming.micro_batch_size``); each processing pass
+    appends the buffered points to their per-object sessions, lets every
+    touched session seal episodes and routes each sealed episode through the
+    plan's incremental stage bodies.  When a trajectory closes (gap,
+    eviction or explicit close) the close-time stage bodies run — HMM point
+    annotation over the full stop sequence and, when the plan persists,
+    store write-back inside one commit-on-success transaction scope.
+    """
+
+    kind = "micro_batch"
+
+    def __init__(
+        self,
+        plan: Plan,
+        on_result: Optional[Callable[[PipelineResult], None]] = None,
+        on_episode: Optional[Callable[[Episode], None]] = None,
+    ):
+        from repro.streaming.session import SessionManager  # deferred: import cycle
+
+        self._plan = plan
+        self._streaming = plan.config.streaming
+        self._on_result = on_result
+        self._on_episode = on_episode
+        self._sessions = SessionManager(plan.config)
+        self._pending: List[Tuple[str, SpatioTemporalPoint]] = []
+        self._items: Dict[str, WorkItem] = {}
+        match_stage = plan.stage("map_match")
+        self._windowed = (
+            match_stage.make_windowed_matcher()
+            if isinstance(match_stage, MapMatchStage)
+            else None
+        )
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------- properties
+    @property
+    def plan(self) -> Plan:
+        """The compiled plan this executor drives."""
+        return self._plan
+
+    @property
+    def open_session_count(self) -> int:
+        """Number of currently open per-object sessions."""
+        return len(self._sessions)
+
+    @property
+    def sessions_evicted(self) -> int:
+        """Sessions closed because the LRU capacity was exceeded."""
+        return self._sessions.evicted_total
+
+    @property
+    def pending_event_count(self) -> int:
+        """Events buffered in the current micro-batch."""
+        return len(self._pending)
+
+    # -------------------------------------------------------------- execution
+    def run(self, plan: Plan, trajectories: Sequence[RawTrajectory]) -> List[PipelineResult]:
+        """Replay a batch of trajectories through the streaming loop.
+
+        Each trajectory's points are fed as events for its object, then the
+        object is closed, so results come back in input order with content
+        (episodes, annotations) identical to the other executors.  Trajectory
+        identifiers are re-assigned by the per-object session numbering,
+        which can differ from externally assigned ids — for full canonical
+        byte-parity, feed the original raw event stream through
+        :meth:`ingest_many` / :meth:`close_all` instead, as the parity suite
+        does.
+        """
+        if plan is not self._plan:
+            raise ConfigurationError(
+                "a MicroBatchExecutor is bound to the plan it was built with; "
+                "construct a new executor for a different plan"
+            )
+        results: List[PipelineResult] = []
+        for trajectory in trajectories:
+            for point in trajectory.points:
+                results.extend(self.ingest(trajectory.object_id, point))
+            results.extend(self.close_object(trajectory.object_id))
+        return results
+
+    # ------------------------------------------------------------------ feed
+    def ingest(self, object_id: str, point: SpatioTemporalPoint) -> List[PipelineResult]:
+        """Feed one event; returns results for any trajectories sealed by it.
+
+        Most calls only buffer the event and return ``[]``; every
+        ``micro_batch_size`` events the executor runs a processing pass,
+        during which gap close-outs, LRU evictions and episode sealing
+        happen.
+        """
+        self._pending.append((object_id, point))
+        self.stats.events += 1
+        if len(self._pending) >= self._streaming.micro_batch_size:
+            return self._process_pending()
+        return []
+
+    def ingest_many(
+        self, events: Iterable[Tuple[str, SpatioTemporalPoint]]
+    ) -> List[PipelineResult]:
+        """Feed several events in order; returns every sealed result."""
+        results: List[PipelineResult] = []
+        for object_id, point in events:
+            results.extend(self.ingest(object_id, point))
+        return results
+
+    def flush(self) -> List[PipelineResult]:
+        """Process the buffered micro-batch immediately.
+
+        Sessions are not explicitly closed, but the pass itself may still
+        seal trajectories: gap close-outs and LRU evictions triggered by the
+        buffered events happen here, so results can be returned.
+        """
+        return self._process_pending()
+
+    def close_object(self, object_id: str) -> List[PipelineResult]:
+        """End of stream for one object: seal and annotate its open trajectory."""
+        results = self._process_pending()
+        session = self._sessions.pop(object_id)
+        if session is not None:
+            results.extend(self._close_session(session))
+        return results
+
+    def close_all(self) -> List[PipelineResult]:
+        """End of stream for every object; returns all remaining results."""
+        results = self._process_pending()
+        for session in self._sessions.pop_all():
+            results.extend(self._close_session(session))
+        return results
+
+    # ------------------------------------------------------------- processing
+    def _process_pending(self) -> List[PipelineResult]:
+        if not self._pending:
+            return []
+        self.stats.processing_passes += 1
+        # Take the batch before touching any session: if a push or a stage
+        # raises mid-pass, already-absorbed events must not be replayed into
+        # their sessions by the next pass.
+        pending, self._pending = self._pending, []
+        results: List[PipelineResult] = []
+        touched: Dict[str, Session] = {}
+        for object_id, point in pending:
+            session, evicted = self._sessions.acquire(object_id)
+            for old in evicted:
+                touched.pop(old.object_id, None)
+                results.extend(self._close_session(old))
+            update = session.push(point)
+            results.extend(self._handle_update(update))
+            touched[object_id] = session
+        for session in touched.values():
+            self._advance_session(session)
+        return results
+
+    def _advance_session(self, session: Session) -> None:
+        trajectory = session.trajectory
+        if trajectory is None:
+            return
+        item = self._item_for(trajectory)
+        started = time.perf_counter()
+        sealed = session.advance()
+        item.timer.record("compute_episode", time.perf_counter() - started)
+        for episode in sealed:
+            self._absorb_episode(item, episode)
+
+    def _close_session(self, session: Session) -> List[PipelineResult]:
+        return self._handle_update(session.close())
+
+    def _handle_update(self, update: SessionUpdate) -> List[PipelineResult]:
+        results: List[PipelineResult] = []
+        for sealed in update.sealed:
+            result = self._finish_trajectory(sealed)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def _finish_trajectory(self, sealed: SealedTrajectory) -> Optional[PipelineResult]:
+        if sealed.discarded:
+            self.stats.trajectories_discarded += 1
+            self._items.pop(sealed.trajectory.trajectory_id, None)
+            return None
+        item = self._item_for(sealed.trajectory)
+        item.timer.record("compute_episode", sealed.compute_seconds)
+        for episode in sealed.final_episodes:
+            self._absorb_episode(item, episode)
+
+        plan = self._plan
+        scope: ContextManager[object] = (
+            plan.store if plan.persist and plan.store is not None else nullcontext()
+        )
+        with scope:
+            for stage in plan.stages:
+                stage.close_out(item)
+                if stage.finishes(item):
+                    with item.timer.stage(stage.name):
+                        stage.finish(item)
+
+        self._items.pop(item.trajectory.trajectory_id, None)
+        self.stats.results += 1
+        if self._on_result is not None:
+            self._on_result(item.result)
+        return item.result
+
+    # ------------------------------------------------------------- annotation
+    def _absorb_episode(self, item: WorkItem, episode: Episode) -> None:
+        """Route one sealed episode through the plan's incremental stages."""
+        item.result.episodes.append(episode)
+        for stage in self._plan.stages:
+            if stage.wants_episode(item, episode):
+                with item.timer.stage(stage.name):
+                    stage.absorb_episode(item, episode)
+        self.stats.episodes_sealed += 1
+        if self._on_episode is not None:
+            self._on_episode(episode)
+
+    def _item_for(self, trajectory: RawTrajectory) -> WorkItem:
+        item = self._items.get(trajectory.trajectory_id)
+        if item is None:
+            item = WorkItem.start(trajectory)
+            item.windowed_matcher = self._windowed
+            self._items[trajectory.trajectory_id] = item
+        return item

@@ -1,0 +1,375 @@
+"""Typed pipeline stages: the Figure 2 dataflow as first-class objects.
+
+The SeMiTri pipeline is one dataflow — clean, identify, compute episodes,
+then the region / line / point annotation layers, with optional store
+write-back — but the repo used to re-encode that sequence separately in the
+batch pipeline, the streaming engine and the parallel runner.  This module
+makes every step an explicit :class:`Stage` with declared inputs and outputs,
+so a :class:`~repro.engine.plan.Plan` can describe the dataflow once and any
+executor (sequential, process-pool, micro-batch) can run it.
+
+Each stage carries two faces of the same computation:
+
+* :meth:`Stage.run` — the **batch** body, applied to a whole trajectory's
+  episodes at once (what :meth:`SeMiTriPipeline.annotate_many` needs);
+* the **streaming** protocol — :meth:`Stage.wants_episode` /
+  :meth:`Stage.absorb_episode` for stages that can process each episode the
+  moment it is sealed, plus :meth:`Stage.finishes` / :meth:`Stage.finish` /
+  :meth:`Stage.close_out` for work that must wait until the trajectory
+  closes (the HMM point layer, store write-back, result assembly).
+
+Executors — not the stages — own the per-stage :class:`StageTimer` samples,
+so the Figure 17 latency breakdown is emitted from exactly one place and is
+identical in shape across the batch and streaming runtimes.
+
+The stage ``name`` doubles as the latency-profile stage name, which keeps
+the Figure 17 vocabulary (``compute_episode``, ``store_episode``,
+``landuse_join``, ``map_match``, ``store_match_result``, plus
+``poi_annotation``) stable across every runtime.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.analytics.latency import StageTimer
+from repro.core.config import PipelineConfig
+from repro.core.episodes import Episode
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.core.trajectory import SemanticEpisodeRecord, StructuredSemanticTrajectory
+from repro.lines.annotator import LineAnnotator
+from repro.lines.road_network import RoadNetwork
+from repro.points.annotator import PointAnnotator
+from repro.preprocessing.cleaning import GpsCleaner
+from repro.preprocessing.identification import TrajectoryIdentifier
+from repro.preprocessing.stops import StopMoveDetector
+from repro.regions.annotator import RegionAnnotator
+from repro.store.store import SemanticTrajectoryStore
+from repro.streaming.matching import WindowedMapMatcher
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.pipeline import PipelineResult
+
+
+@dataclass
+class WorkItem:
+    """One trajectory moving through the stages of a plan.
+
+    Wraps the growing :class:`~repro.core.pipeline.PipelineResult` together
+    with the latency timer and the scratch state streaming stages accumulate
+    between episode seals (region records, the per-engine windowed matcher).
+    """
+
+    trajectory: RawTrajectory
+    result: "PipelineResult"
+    timer: StageTimer
+    region_records: List[SemanticEpisodeRecord] = field(default_factory=list)
+    windowed_matcher: Optional[WindowedMapMatcher] = None
+    """Streaming map matcher supplied by the micro-batch executor."""
+
+    @classmethod
+    def start(cls, trajectory: RawTrajectory) -> "WorkItem":
+        """Fresh work item whose result shares the timer's latency profile."""
+        from repro.core.pipeline import PipelineResult  # deferred: import cycle
+
+        timer = StageTimer()
+        result = PipelineResult(trajectory=trajectory, episodes=[], latency=timer.profile)
+        return cls(trajectory=trajectory, result=result, timer=timer)
+
+
+class Stage(abc.ABC):
+    """One step of the annotation dataflow with declared inputs and outputs.
+
+    ``inputs`` and ``outputs`` name the :class:`WorkItem` /
+    :class:`~repro.core.pipeline.PipelineResult` fields the stage reads and
+    writes; they are documentation-grade metadata used by
+    :meth:`Plan.describe` and the plan compiler's wiring check, not a runtime
+    dispatch mechanism.
+    """
+
+    #: Latency-profile stage name (Figure 17 vocabulary).
+    name: str = ""
+    #: Result fields the stage reads.
+    inputs: Tuple[str, ...] = ()
+    #: Result fields the stage writes.
+    outputs: Tuple[str, ...] = ()
+    #: True for store write-back stages, which sharded executors defer to a
+    #: single merged transaction instead of running inline.
+    writes_back: bool = False
+
+    # ------------------------------------------------------------------ batch
+    def ready(self, item: WorkItem) -> bool:
+        """Whether the batch body should run (and be timed) for this item."""
+        return True
+
+    @abc.abstractmethod
+    def run(self, item: WorkItem) -> None:
+        """Batch body: consume ``inputs`` on the item, produce ``outputs``."""
+
+    # -------------------------------------------------------------- streaming
+    def wants_episode(self, item: WorkItem, episode: Episode) -> bool:
+        """Whether the stage processes this sealed episode incrementally."""
+        return False
+
+    def absorb_episode(self, item: WorkItem, episode: Episode) -> None:
+        """Incremental body: process one sealed episode (timed per episode)."""
+        raise NotImplementedError(f"stage {self.name!r} does not absorb episodes")
+
+    def close_out(self, item: WorkItem) -> None:
+        """Untimed bookkeeping when the trajectory closes (result assembly)."""
+
+    def finishes(self, item: WorkItem) -> bool:
+        """Whether :meth:`finish` should run (and be timed) at close."""
+        return False
+
+    def finish(self, item: WorkItem) -> None:
+        """Close-time body for work that needs the complete trajectory."""
+        raise NotImplementedError(f"stage {self.name!r} has no close-time work")
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"inputs={list(self.inputs)} outputs={list(self.outputs)}>"
+        )
+
+
+# --------------------------------------------------------------------- ingest
+class PreprocessingStage(abc.ABC):
+    """A stage of the raw-stream preprocessing chain (before episodes exist)."""
+
+    name: str = ""
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"inputs={list(self.inputs)} outputs={list(self.outputs)}>"
+        )
+
+
+class CleanStage(PreprocessingStage):
+    """GPS cleaning: outlier removal + smoothing over a raw point stream."""
+
+    name = "clean"
+    inputs = ("raw_points",)
+    outputs = ("cleaned_points",)
+
+    def __init__(self, config: PipelineConfig):
+        self._cleaner = GpsCleaner(config.cleaning, backend=config.compute.backend)
+
+    def apply(self, points: Sequence[SpatioTemporalPoint]) -> List[SpatioTemporalPoint]:
+        """Cleaned copy of the point stream."""
+        return self._cleaner.clean(points)
+
+
+class IdentifyStage(PreprocessingStage):
+    """Trajectory identification: gap-based splitting of a cleaned stream."""
+
+    name = "identify"
+    inputs = ("cleaned_points",)
+    outputs = ("trajectories",)
+
+    def __init__(self, config: PipelineConfig):
+        self._identifier = TrajectoryIdentifier(config.identification)
+
+    def apply(
+        self, points: Sequence[SpatioTemporalPoint], object_id: str = "unknown"
+    ) -> List[RawTrajectory]:
+        """Raw trajectories split out of the cleaned stream."""
+        return self._identifier.split(points, object_id=object_id)
+
+
+# ----------------------------------------------------------------- annotation
+class ComputeEpisodesStage(Stage):
+    """Stop/move segmentation of one raw trajectory.
+
+    The streaming runtime never calls this stage's body: sessions segment
+    incrementally with an
+    :class:`~repro.streaming.stops.IncrementalStopMoveDetector` and the
+    micro-batch executor records their measured time under this stage's
+    ``name`` so both runtimes report the same latency vocabulary.
+    """
+
+    name = "compute_episode"
+    inputs = ("trajectory",)
+    outputs = ("episodes",)
+
+    def __init__(self, config: PipelineConfig):
+        self._detector = StopMoveDetector(config.stop_move, backend=config.compute.backend)
+
+    @property
+    def detector(self) -> StopMoveDetector:
+        """The underlying stop/move detector."""
+        return self._detector
+
+    def run(self, item: WorkItem) -> None:
+        item.result.episodes = self._detector.segment(item.trajectory)
+
+
+class StoreTrajectoryStage(Stage):
+    """Persist the raw trajectory (and its GPS records) into the store."""
+
+    name = "store_episode"
+    inputs = ("trajectory",)
+    writes_back = True
+
+    def __init__(self, store: SemanticTrajectoryStore):
+        self._store = store
+
+    @property
+    def store(self) -> SemanticTrajectoryStore:
+        """The semantic trajectory store written to."""
+        return self._store
+
+    def run(self, item: WorkItem) -> None:
+        self._store.save_trajectory(item.trajectory)
+
+    def finishes(self, item: WorkItem) -> bool:
+        return True
+
+    def finish(self, item: WorkItem) -> None:
+        self.run(item)
+
+
+class RegionJoinStage(Stage):
+    """Region annotation layer: landuse spatial join over episodes."""
+
+    name = "landuse_join"
+    inputs = ("episodes",)
+    outputs = ("region_trajectory",)
+
+    def __init__(self, annotator: RegionAnnotator):
+        self._annotator = annotator
+
+    @property
+    def annotator(self) -> RegionAnnotator:
+        """The underlying region annotator."""
+        return self._annotator
+
+    def run(self, item: WorkItem) -> None:
+        item.result.region_trajectory = self._annotator.annotate_episodes(item.result.episodes)
+
+    def wants_episode(self, item: WorkItem, episode: Episode) -> bool:
+        return True
+
+    def absorb_episode(self, item: WorkItem, episode: Episode) -> None:
+        item.region_records.append(self._annotator.annotate_episode(episode))
+
+    def close_out(self, item: WorkItem) -> None:
+        # Sealed episodes arrive in start order, so assembling the buffered
+        # records reproduces the batch annotate_episodes() output exactly.
+        trajectory = item.trajectory
+        item.result.region_trajectory = StructuredSemanticTrajectory(
+            trajectory_id=f"{trajectory.trajectory_id}:region-episodes",
+            object_id=trajectory.object_id,
+            records=item.region_records,
+        )
+
+
+class MapMatchStage(Stage):
+    """Line annotation layer: global map matching + transport modes on moves."""
+
+    name = "map_match"
+    inputs = ("episodes",)
+    outputs = ("line_trajectories",)
+
+    def __init__(self, annotator: LineAnnotator, config: PipelineConfig):
+        self._annotator = annotator
+        self._network: RoadNetwork = annotator.matcher.network
+        self._config = config
+
+    @property
+    def annotator(self) -> LineAnnotator:
+        """The underlying line annotator."""
+        return self._annotator
+
+    def run(self, item: WorkItem) -> None:
+        item.result.line_trajectories = self._annotator.annotate_episodes(
+            [episode for episode in item.result.episodes if episode.is_move]
+        )
+
+    def wants_episode(self, item: WorkItem, episode: Episode) -> bool:
+        return episode.is_move
+
+    def absorb_episode(self, item: WorkItem, episode: Episode) -> None:
+        matcher = item.windowed_matcher
+        assert matcher is not None, "micro-batch executor must supply a windowed matcher"
+        matched = matcher.match_stream(list(episode.points))
+        item.result.line_trajectories.append(self._annotator.annotate_matched(episode, matched))
+
+    def make_windowed_matcher(self) -> WindowedMapMatcher:
+        """A fresh streaming matcher over the (shared, frozen) road index.
+
+        The matcher is stateful per episode, so each micro-batch executor
+        owns its own; the expensive part — the road-network index — stays
+        shared with the batch annotator.
+        """
+        return WindowedMapMatcher(
+            self._network,
+            self._config.map_matching,
+            backend=self._config.compute.backend,
+            index_backend=self._config.compute.resolved_index_backend,
+        )
+
+
+class PoiAnnotationStage(Stage):
+    """Point annotation layer: HMM decoding of the stop sequence.
+
+    Viterbi is a sequence-level maximum-a-posteriori decoder, so this stage
+    has no incremental body: in the streaming runtime it runs at trajectory
+    close over the full stop sequence, exactly like the batch body.
+    """
+
+    name = "poi_annotation"
+    inputs = ("episodes",)
+    outputs = ("point_trajectory", "trajectory_category")
+
+    def __init__(self, annotator: PointAnnotator):
+        self._annotator = annotator
+
+    @property
+    def annotator(self) -> PointAnnotator:
+        """The underlying point annotator."""
+        return self._annotator
+
+    def ready(self, item: WorkItem) -> bool:
+        return any(episode.is_stop for episode in item.result.episodes)
+
+    def run(self, item: WorkItem) -> None:
+        stops = [episode for episode in item.result.episodes if episode.is_stop]
+        item.result.point_trajectory = self._annotator.annotate_stops(stops)
+        item.result.trajectory_category = self._annotator.classify_trajectory(stops)
+
+    def finishes(self, item: WorkItem) -> bool:
+        return self.ready(item)
+
+    def finish(self, item: WorkItem) -> None:
+        self.run(item)
+
+
+class StoreEpisodesStage(Stage):
+    """Persist the annotated episodes (and their annotations) into the store."""
+
+    name = "store_match_result"
+    inputs = ("episodes",)
+    writes_back = True
+
+    def __init__(self, store: SemanticTrajectoryStore):
+        self._store = store
+
+    @property
+    def store(self) -> SemanticTrajectoryStore:
+        """The semantic trajectory store written to."""
+        return self._store
+
+    def run(self, item: WorkItem) -> None:
+        self._store.save_episodes(item.result.episodes)
+
+    def finishes(self, item: WorkItem) -> bool:
+        return True
+
+    def finish(self, item: WorkItem) -> None:
+        self.run(item)

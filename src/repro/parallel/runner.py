@@ -1,78 +1,44 @@
 """Sharded parallel annotation over a shared read-only geographic snapshot.
 
 The pipeline annotates each moving object's trajectories independently, so
-per-object sharding is the natural scale-out axis: the runner partitions a
-batch of raw trajectories by ``object_id`` into shards, annotates every shard
-on an executor — a process pool for real parallelism or an in-process serial
-executor for tests and debugging — against one immutable
-:class:`~repro.parallel.context.GeoContext`, and merges the per-shard results
-back into input order.  The merge is a pure reordering, so the output is
-byte-identical (see :mod:`repro.parallel.canonical`) to sequential
+per-object sharding is the natural scale-out axis.  Since the stage-graph
+refactor the runner is a thin façade over :mod:`repro.engine`: it resolves
+(and caches) the immutable :class:`~repro.parallel.context.GeoContext`
+snapshot, compiles a :class:`~repro.engine.plan.Plan` from it and hands the
+batch to an engine executor — the sharded
+:class:`~repro.engine.executors.ProcessPoolExecutor` for real parallelism or
+a :class:`~repro.engine.executors.SequentialExecutor` with deferred
+write-back for tests and debugging.  Either way the merge back into input
+order is a pure reordering, so the output is byte-identical (see
+:mod:`repro.parallel.canonical`) to sequential
 :meth:`~repro.core.pipeline.SeMiTriPipeline.annotate_many` regardless of
 worker count, executor choice or shard completion order.
 
-Persistence goes through a :class:`~repro.parallel.store_writer.ShardedStoreWriter`:
-workers never touch the store, the merged batch is committed by the parent in
-one transaction with the same row order a single writer would produce.
+Persistence goes through a :class:`~repro.parallel.store_writer.ShardedStoreWriter`
+inside the engine's merge step: workers never touch the store, the merged
+batch is committed by the parent in one transaction with the same row order
+a single writer would produce.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import multiprocessing
-import sys
-import weakref
+from concurrent.futures import ProcessPoolExecutor as _FuturesProcessPool
+from typing import List, Optional, Sequence, Union
 
 from repro.core.config import ParallelConfig, PipelineConfig
 from repro.core.errors import ConfigurationError
-from repro.core.pipeline import AnnotationSources, PipelineResult, SeMiTriPipeline
+from repro.core.pipeline import AnnotationSources, PipelineResult
 from repro.core.points import RawTrajectory
+from repro.engine.executors import (
+    _FORK_CONTEXTS,  # noqa: F401  (re-exported for white-box tests)
+    ProcessPoolExecutor,
+    SequentialExecutor,
+    Shard,
+    shard_by_object,
+)
+from repro.engine.plan import Plan
 from repro.parallel.context import GeoContext
-from repro.parallel.store_writer import ShardedStoreWriter
 from repro.store.store import SemanticTrajectoryStore
-
-# One shard of work: (shard index, [(input order, trajectory), ...]).
-_Shard = Tuple[int, List[Tuple[int, RawTrajectory]]]
-
-# Worker-process state, set once by the pool initializer.  Under the ``fork``
-# start method the snapshot travels to the children as inherited copy-on-write
-# memory (the ``_FORK_CONTEXTS`` registry, keyed per pool so concurrent
-# runners cannot cross-contaminate lazily-forked workers); under ``spawn`` it
-# is pickled once per worker through the initializer arguments.
-_FORK_CONTEXTS: Dict[int, GeoContext] = {}
-_FORK_TOKENS = iter(range(1, 2**62))
-_WORKER_PIPELINE: Optional[SeMiTriPipeline] = None
-_WORKER_CONTEXT: Optional[GeoContext] = None
-
-
-def _init_worker(token: Optional[int], pickled_context: Optional[GeoContext]) -> None:
-    global _WORKER_CONTEXT, _WORKER_PIPELINE
-    context = _FORK_CONTEXTS.get(token) if token is not None else None
-    if context is None:
-        context = pickled_context
-    assert context is not None, "worker started without a GeoContext"
-    _WORKER_CONTEXT = context
-    _WORKER_PIPELINE = SeMiTriPipeline(context.config)
-
-
-def _release_pool_resources(pool: ProcessPoolExecutor, fork_token: Optional[int]) -> None:
-    """Tear down a runner's pool and fork-registry entry (close() or GC)."""
-    if fork_token is not None:
-        _FORK_CONTEXTS.pop(fork_token, None)
-    pool.shutdown(wait=False)
-
-
-def _annotate_shard(shard: _Shard) -> Tuple[int, List[Tuple[int, PipelineResult]]]:
-    """Annotate one shard inside a worker process (never persists)."""
-    shard_index, items = shard
-    assert _WORKER_CONTEXT is not None and _WORKER_PIPELINE is not None
-    annotators = _WORKER_CONTEXT.annotators
-    return shard_index, [
-        (order, _WORKER_PIPELINE.annotate_prepared(trajectory, annotators))
-        for order, trajectory in items
-    ]
 
 
 class ParallelAnnotationRunner:
@@ -116,12 +82,18 @@ class ParallelAnnotationRunner:
         )
         self._store = store
         self._shards_per_worker = parallel.shards_per_worker
-        self._pipeline = SeMiTriPipeline(config)
+        self._engine_executor: Union[ProcessPoolExecutor, SequentialExecutor]
+        if self._executor_kind == "process":
+            self._engine_executor = ProcessPoolExecutor(
+                workers=self._workers, shards_per_worker=self._shards_per_worker
+            )
+        else:
+            # Deferred write-back keeps the serial executor's store commits
+            # identical in shape to the process pool's (one merged
+            # transaction), so persistence cannot depend on the executor.
+            self._engine_executor = SequentialExecutor(deferred_writeback=True)
         self._context: Optional[GeoContext] = None
         self._context_sources: Optional[AnnotationSources] = None
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._fork_token: Optional[int] = None
-        self._pool_finalizer: Optional[weakref.finalize] = None
 
     # ------------------------------------------------------------- properties
     @property
@@ -139,19 +111,23 @@ class ParallelAnnotationRunner:
         """The semantic trajectory store, when persistence is enabled."""
         return self._store
 
+    @property
+    def _pool(self) -> Optional[_FuturesProcessPool]:
+        """The live worker pool, when the process executor has one (tests)."""
+        if isinstance(self._engine_executor, ProcessPoolExecutor):
+            return self._engine_executor._pool
+        return None
+
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Shut down the worker pool (idempotent)."""
-        if self._pool_finalizer is not None:
-            self._pool_finalizer()  # pops the fork registry and stops workers
-            self._pool_finalizer = None
-        self._pool = None
-        self._fork_token = None
+        if isinstance(self._engine_executor, ProcessPoolExecutor):
+            self._engine_executor.close()
 
     def __enter__(self) -> "ParallelAnnotationRunner":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
     # ---------------------------------------------------------------- context
@@ -171,9 +147,9 @@ class ParallelAnnotationRunner:
     def use_context(self, context: GeoContext) -> "GeoContext":
         """Adopt an externally built snapshot (e.g. shared with a streaming engine).
 
-        The snapshot's config must equal the runner's: the serial executor
-        segments with the runner's pipeline while workers rebuild theirs from
-        the snapshot, so a mismatch would make output depend on the executor.
+        The snapshot's config must equal the runner's: every executor
+        compiles its plan from the snapshot's config, so a mismatch would
+        make output depend on the executor.
         """
         if context.config != self._config:
             raise ConfigurationError(
@@ -216,99 +192,11 @@ class ParallelAnnotationRunner:
         trajectories = list(trajectories)
         if not trajectories:
             return []
-        shards = self._shard(trajectories)
-        if self._executor_kind == "serial" or len(shards) == 1:
-            shard_results = self._run_serial(context, shards)
-        else:
-            shard_results = self._run_process_pool(context, shards)
-
-        ordered: Dict[int, PipelineResult] = {}
-        writer = (
-            ShardedStoreWriter(self._store)
-            if persist and self._store is not None
-            else None
-        )
-        for shard_index, items in shard_results:
-            for order, result in items:
-                ordered[order] = result
-                if writer is not None:
-                    writer.add_result(shard_index, order, result)
-        if writer is not None:
-            writer.commit()
-        return [ordered[index] for index in range(len(trajectories))]
+        plan = Plan.from_context(context, store=self._store, persist=persist)
+        return self._engine_executor.run(plan, trajectories)
 
     # -------------------------------------------------------------- internals
-    def _shard(self, trajectories: Sequence[RawTrajectory]) -> List[_Shard]:
-        """Partition by object id into balanced shards, deterministically.
-
-        Objects are assigned greedily (in first-appearance order) to the
-        currently lightest shard, measured in GPS points — deterministic for
-        a given input, and robust to skewed per-object workloads.
-        """
+    def _shard(self, trajectories: Sequence[RawTrajectory]) -> List[Shard]:
+        """Deterministic per-object sharding (delegates to the engine)."""
         shard_count = max(1, min(self._workers * self._shards_per_worker, len(trajectories)))
-        by_object: Dict[str, List[Tuple[int, RawTrajectory]]] = {}
-        loads: Dict[str, int] = {}
-        for order, trajectory in enumerate(trajectories):
-            by_object.setdefault(trajectory.object_id, []).append((order, trajectory))
-            loads[trajectory.object_id] = loads.get(trajectory.object_id, 0) + len(trajectory)
-        shard_count = min(shard_count, len(by_object))
-        shards: List[List[Tuple[int, RawTrajectory]]] = [[] for _ in range(shard_count)]
-        shard_loads = [0] * shard_count
-        for object_id, items in by_object.items():
-            target = min(range(shard_count), key=lambda index: (shard_loads[index], index))
-            shards[target].extend(items)
-            shard_loads[target] += loads[object_id]
-        return [(index, items) for index, items in enumerate(shards) if items]
-
-    def _run_serial(
-        self, context: GeoContext, shards: List[_Shard]
-    ) -> List[Tuple[int, List[Tuple[int, PipelineResult]]]]:
-        annotators = context.annotators
-        results = []
-        for shard_index, items in shards:
-            results.append(
-                (
-                    shard_index,
-                    [
-                        (order, self._pipeline.annotate_prepared(trajectory, annotators))
-                        for order, trajectory in items
-                    ],
-                )
-            )
-        return results
-
-    def _run_process_pool(
-        self, context: GeoContext, shards: List[_Shard]
-    ) -> List[Tuple[int, List[Tuple[int, PipelineResult]]]]:
-        pool = self._ensure_pool(context)
-        return list(pool.map(_annotate_shard, shards))
-
-    def _ensure_pool(self, context: GeoContext) -> ProcessPoolExecutor:
-        if self._pool is not None:
-            return self._pool
-        # Prefer fork only where it is the safe platform default (Linux);
-        # macOS forks can crash inside frameworks the parent already loaded.
-        if sys.platform == "linux":
-            mp_context = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - non-Linux platforms
-            mp_context = multiprocessing.get_context()
-        if mp_context.get_start_method() == "fork":
-            # Children inherit the snapshot as copy-on-write memory; the
-            # registry entry lives until close() so late worker forks see it.
-            self._fork_token = next(_FORK_TOKENS)
-            _FORK_CONTEXTS[self._fork_token] = context
-            initargs: Tuple[Optional[int], Optional[GeoContext]] = (self._fork_token, None)
-        else:  # pragma: no cover - non-POSIX platforms
-            initargs = (None, context)
-        self._pool = ProcessPoolExecutor(
-            max_workers=self._workers,
-            mp_context=mp_context,
-            initializer=_init_worker,
-            initargs=initargs,
-        )
-        # If the runner is garbage collected without close(), stop the worker
-        # processes and drop the registry entry instead of leaking both.
-        self._pool_finalizer = weakref.finalize(
-            self, _release_pool_resources, self._pool, self._fork_token
-        )
-        return self._pool
+        return shard_by_object(trajectories, shard_count)

@@ -19,7 +19,17 @@ from repro.store.schema import SCHEMA_STATEMENTS
 
 
 class SemanticTrajectoryStore:
-    """Persists trajectories, episodes and annotations in SQLite."""
+    """Persists trajectories, episodes and annotations in SQLite.
+
+    The store is also a transaction scope, mirroring the semantics of
+    :class:`sqlite3.Connection` itself: inside a ``with store:`` block every
+    write is deferred into one transaction that is **committed on a clean
+    exit and rolled back when the block raises**.  Scopes nest (the
+    outermost one decides), and the engine's write-back path wraps each
+    trajectory's persistence in one scope so a trajectory is never
+    half-stored.  Leaving a scope does *not* close the connection — call
+    :meth:`close` for that.
+    """
 
     def __init__(self, path: str = ":memory:"):
         self._connection = sqlite3.connect(path)
@@ -27,6 +37,8 @@ class SemanticTrajectoryStore:
         for statement in SCHEMA_STATEMENTS:
             self._connection.execute(statement)
         self._connection.commit()
+        self._tx_depth = 0
+        self._tx_failed = False
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -34,10 +46,50 @@ class SemanticTrajectoryStore:
         self._connection.close()
 
     def __enter__(self) -> "SemanticTrajectoryStore":
+        self._tx_depth += 1
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        self._tx_depth -= 1
+        if self._tx_depth > 0:
+            if exc_type is not None:
+                # An inner scope failed: its deferred writes cannot be rolled
+                # back independently (one connection, one transaction), so
+                # even if the caller swallows the exception the outer scope
+                # must not commit the half-written state.
+                self._tx_failed = True
+            return  # inner scope: the outermost scope decides
+        failed, self._tx_failed = self._tx_failed, False
+        if exc_type is not None or failed:
+            self._connection.rollback()
+            if exc_type is None:
+                # A write failed mid-scope, its error was swallowed by the
+                # caller and the scope exited cleanly: committing now would
+                # persist an inconsistent prefix, so refuse loudly instead.
+                raise StoreError("transaction scope failed earlier; rolled back")
+        else:
+            self._connection.commit()
+
+    @property
+    def in_transaction_scope(self) -> bool:
+        """True while inside a ``with store:`` deferred-commit scope."""
+        return self._tx_depth > 0
+
+    # ----------------------------------------------------- transaction plumbing
+    def _commit(self) -> None:
+        """Commit now, unless a surrounding scope defers it to scope exit."""
+        if self._tx_depth == 0:
+            self._connection.commit()
+
+    def _rollback(self) -> None:
+        """Roll back after a failed write.
+
+        Inside a scope this also discards the scope's earlier deferred
+        writes, so the scope is marked failed and will not commit.
+        """
+        self._connection.rollback()
+        if self._tx_depth > 0:
+            self._tx_failed = True
 
     # ------------------------------------------------------------------ writes
     def save_trajectory(self, trajectory: RawTrajectory, store_points: bool = True) -> None:
@@ -50,14 +102,14 @@ class SemanticTrajectoryStore:
         try:
             self._write_trajectory(cursor, trajectory, store_points)
         except sqlite3.IntegrityError as error:
-            self._connection.rollback()
+            self._rollback()
             raise StoreError(
                 f"trajectory {trajectory.trajectory_id!r} is already stored"
             ) from error
         except sqlite3.Error:
-            self._connection.rollback()
+            self._rollback()
             raise
-        self._connection.commit()
+        self._commit()
 
     def save_episode(self, episode: Episode) -> int:
         """Persist one episode (and its annotations); returns its store identifier."""
@@ -74,9 +126,9 @@ class SemanticTrajectoryStore:
         try:
             episode_ids = self._write_episodes(cursor, episodes)
         except sqlite3.Error:
-            self._connection.rollback()
+            self._rollback()
             raise
-        self._connection.commit()
+        self._commit()
         return episode_ids
 
     def save_annotated_trajectories(
@@ -101,12 +153,12 @@ class SemanticTrajectoryStore:
                 self._write_trajectory(cursor, trajectory, store_points)
                 episode_ids.append(self._write_episodes(cursor, episodes))
         except sqlite3.IntegrityError as error:
-            self._connection.rollback()
+            self._rollback()
             raise StoreError(f"batched write rejected: {error}") from error
         except sqlite3.Error:
-            self._connection.rollback()
+            self._rollback()
             raise
-        self._connection.commit()
+        self._commit()
         return episode_ids
 
     def save_annotations(self, episode_id: int, annotations: Sequence[Annotation]) -> None:
@@ -119,9 +171,9 @@ class SemanticTrajectoryStore:
                 rows,
             )
         except sqlite3.Error:
-            self._connection.rollback()
+            self._rollback()
             raise
-        self._connection.commit()
+        self._commit()
 
     @staticmethod
     def _write_trajectory(

@@ -2,79 +2,53 @@
 
 :class:`StreamingAnnotationEngine` turns the batch pipeline of Figure 2 into
 an incremental, stateful process over a stream of ``(object_id, point)``
-events:
+events.  Since the stage-graph refactor it is a thin façade: the engine
+compiles a :class:`~repro.engine.plan.Plan` from its sources and
+configuration and hands the whole session loop to a
+:class:`~repro.engine.executors.MicroBatchExecutor`, the same stage graph
+the batch pipeline and the parallel runner execute.  Concretely:
 
 * events are **micro-batched** (``streaming.micro_batch_size``) — each
   processing pass appends the buffered points to their per-object sessions,
   then lets every touched session seal episodes;
 * each session applies the gap-based trajectory identification thresholds
   online and runs an :class:`IncrementalStopMoveDetector` on its open buffer;
-* **sealed episodes are annotated immediately**: every episode goes through
-  the region layer, sealed move episodes are matched by the
-  :class:`WindowedMapMatcher` and mode-classified by the line layer;
-* sealed **stop** episodes are buffered for the point layer, whose HMM
-  decodes the whole stop sequence at trajectory close — Viterbi is a
-  sequence-level maximum-a-posteriori decoder, so per-stop categories are
-  only final once the trajectory is sealed;
-* on trajectory close the engine assembles a
+* **sealed episodes are annotated immediately** through the plan stages'
+  incremental bodies: every episode goes through the region layer, sealed
+  move episodes are matched by the
+  :class:`~repro.streaming.matching.WindowedMapMatcher` and mode-classified
+  by the line layer;
+* sealed **stop** episodes wait for the point layer, whose HMM decodes the
+  whole stop sequence at trajectory close — Viterbi is a sequence-level
+  maximum-a-posteriori decoder, so per-stop categories are only final once
+  the trajectory is sealed;
+* on trajectory close the executor assembles a
   :class:`~repro.core.pipeline.PipelineResult` identical to what
   :meth:`SeMiTriPipeline.annotate_many` produces for the same points (parity
   tested on every seed dataset) and, when persistence is on, writes the
   trajectory, episodes and annotations to the
-  :class:`~repro.store.store.SemanticTrajectoryStore` in batched
-  transactions.
-
-The engine shares its building blocks with the batch pipeline — the
-:class:`~repro.core.pipeline.LayerAnnotators` bundle, the per-episode
-annotator entry points and the stage names of the Figure 17 latency profile —
-so the two paths cannot drift.
+  :class:`~repro.store.store.SemanticTrajectoryStore` inside one
+  commit-on-success transaction scope, with the same per-stage latency
+  breakdown (Figure 17 stage names) the batch pipeline reports.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.engine.plan import Plan
     from repro.parallel.context import GeoContext
 
-from repro.analytics.latency import StageTimer
 from repro.core.config import PipelineConfig
 from repro.core.episodes import Episode
 from repro.core.errors import ConfigurationError
 from repro.core.pipeline import AnnotationSources, LayerAnnotators, PipelineResult
-from repro.core.points import RawTrajectory, SpatioTemporalPoint
-from repro.core.trajectory import (
-    SemanticEpisodeRecord,
-    StructuredSemanticTrajectory,
-)
+from repro.core.points import SpatioTemporalPoint
+from repro.engine.executors import EngineStats, MicroBatchExecutor
 from repro.store.store import SemanticTrajectoryStore
-from repro.streaming.matching import WindowedMapMatcher
-from repro.streaming.session import SealedTrajectory, Session, SessionManager, SessionUpdate
 
-
-@dataclass
-class EngineStats:
-    """Counters the engine maintains while processing the stream."""
-
-    events: int = 0
-    results: int = 0
-    episodes_sealed: int = 0
-    trajectories_discarded: int = 0
-    processing_passes: int = 0
-
-
-class _TrajectoryAssembly:
-    """Annotation state accumulated for one open trajectory."""
-
-    def __init__(self, trajectory: RawTrajectory):
-        self.trajectory = trajectory
-        self.timer = StageTimer()
-        self.episodes: List[Episode] = []
-        self.region_records: List[SemanticEpisodeRecord] = []
-        self.line_trajectories: List[StructuredSemanticTrajectory] = []
-        self.stops: List[Episode] = []
+__all__ = ["EngineStats", "StreamingAnnotationEngine"]
 
 
 class StreamingAnnotationEngine:
@@ -95,6 +69,7 @@ class StreamingAnnotationEngine:
         # explicitly passed config must match the snapshot's — the annotators
         # were built from that config, so silently honouring a different one
         # would split the engine's behaviour in two.
+        from repro.engine.plan import Plan
         from repro.parallel.context import GeoContext  # deferred: avoids an import cycle
 
         if isinstance(sources, GeoContext):
@@ -104,67 +79,54 @@ class StreamingAnnotationEngine:
                     "config conflicts with the GeoContext snapshot's config; "
                     "bake the desired config into the snapshot via GeoContext.build"
                 )
-            sources = context.sources
-            config = context.config
-            annotators = context.annotators
-            windowed = context.windowed_matcher()
+            plan = Plan.from_context(context, store=store, persist=persist)
         else:
             if config is None:
                 config = PipelineConfig()
-            annotators = LayerAnnotators.build(sources, config)
-            windowed = (
-                WindowedMapMatcher(
-                    sources.road_network,
-                    config.map_matching,
-                    backend=config.compute.backend,
-                    index_backend=config.compute.resolved_index_backend,
-                )
-                if sources.road_network is not None
-                else None
-            )
-        self._config = config
-        self._streaming = config.streaming
-        self._store = store
-        self._persist = persist and store is not None
-        self._on_result = on_result
-        self._on_episode = on_episode
-        self._annotators = annotators
-        self._windowed = windowed
-        self._sessions = SessionManager(config)
-        self._pending: List[Tuple[str, SpatioTemporalPoint]] = []
-        self._assemblies: Dict[str, _TrajectoryAssembly] = {}
-        self.stats = EngineStats()
+            plan = Plan.compile(sources, config=config, store=store, persist=persist)
+        self._plan = plan
+        self._executor = MicroBatchExecutor(plan, on_result=on_result, on_episode=on_episode)
 
     # ------------------------------------------------------------- properties
     @property
+    def plan(self) -> "Plan":
+        """The compiled stage plan the micro-batch executor drives."""
+        return self._plan
+
+    @property
     def config(self) -> PipelineConfig:
         """The pipeline configuration driving every layer."""
-        return self._config
+        return self._plan.config
 
     @property
     def store(self) -> Optional[SemanticTrajectoryStore]:
-        """The semantic trajectory store, when persistence is enabled."""
-        return self._store
+        """The semantic trajectory store, when one was supplied."""
+        return self._plan.store
 
     @property
     def annotators(self) -> LayerAnnotators:
         """The cached layer annotators shared by every session."""
-        return self._annotators
+        return self._plan.annotators
+
+    @property
+    def stats(self) -> EngineStats:
+        """Counters maintained while processing the stream."""
+        return self._executor.stats
 
     @property
     def open_session_count(self) -> int:
         """Number of currently open per-object sessions."""
-        return len(self._sessions)
+        return self._executor.open_session_count
 
     @property
     def sessions_evicted(self) -> int:
         """Sessions closed because the LRU capacity was exceeded."""
-        return self._sessions.evicted_total
+        return self._executor.sessions_evicted
 
     @property
     def pending_event_count(self) -> int:
         """Events buffered in the current micro-batch."""
-        return len(self._pending)
+        return self._executor.pending_event_count
 
     # ------------------------------------------------------------------ feed
     def ingest(self, object_id: str, point: SpatioTemporalPoint) -> List[PipelineResult]:
@@ -174,20 +136,13 @@ class StreamingAnnotationEngine:
         ``micro_batch_size`` events the engine runs a processing pass, during
         which gap close-outs, LRU evictions and episode sealing happen.
         """
-        self._pending.append((object_id, point))
-        self.stats.events += 1
-        if len(self._pending) >= self._streaming.micro_batch_size:
-            return self._process_pending()
-        return []
+        return self._executor.ingest(object_id, point)
 
     def ingest_many(
         self, events: Iterable[Tuple[str, SpatioTemporalPoint]]
     ) -> List[PipelineResult]:
         """Feed several events in order; returns every sealed result."""
-        results: List[PipelineResult] = []
-        for object_id, point in events:
-            results.extend(self.ingest(object_id, point))
-        return results
+        return self._executor.ingest_many(events)
 
     def flush(self) -> List[PipelineResult]:
         """Process the buffered micro-batch immediately.
@@ -196,139 +151,12 @@ class StreamingAnnotationEngine:
         trajectories: gap close-outs and LRU evictions triggered by the
         buffered events happen here, so results can be returned.
         """
-        return self._process_pending()
+        return self._executor.flush()
 
     def close_object(self, object_id: str) -> List[PipelineResult]:
         """End of stream for one object: seal and annotate its open trajectory."""
-        results = self._process_pending()
-        session = self._sessions.pop(object_id)
-        if session is not None:
-            results.extend(self._close_session(session))
-        return results
+        return self._executor.close_object(object_id)
 
     def close_all(self) -> List[PipelineResult]:
         """End of stream for every object; returns all remaining results."""
-        results = self._process_pending()
-        for session in self._sessions.pop_all():
-            results.extend(self._close_session(session))
-        return results
-
-    # ------------------------------------------------------------- processing
-    def _process_pending(self) -> List[PipelineResult]:
-        if not self._pending:
-            return []
-        self.stats.processing_passes += 1
-        # Take the batch before touching any session: if a push or an
-        # annotator raises mid-pass, already-absorbed events must not be
-        # replayed into their sessions by the next pass.
-        pending, self._pending = self._pending, []
-        results: List[PipelineResult] = []
-        touched: Dict[str, Session] = {}
-        for object_id, point in pending:
-            session, evicted = self._sessions.acquire(object_id)
-            for old in evicted:
-                touched.pop(old.object_id, None)
-                results.extend(self._close_session(old))
-            update = session.push(point)
-            results.extend(self._handle_update(update))
-            touched[object_id] = session
-        for session in touched.values():
-            self._advance_session(session)
-        return results
-
-    def _advance_session(self, session: Session) -> None:
-        trajectory = session.trajectory
-        if trajectory is None:
-            return
-        assembly = self._assembly_for(trajectory)
-        started = time.perf_counter()
-        sealed = session.advance()
-        assembly.timer.record("compute_episode", time.perf_counter() - started)
-        for episode in sealed:
-            self._annotate_sealed_episode(assembly, episode)
-
-    def _close_session(self, session: Session) -> List[PipelineResult]:
-        return self._handle_update(session.close())
-
-    def _handle_update(self, update: SessionUpdate) -> List[PipelineResult]:
-        results: List[PipelineResult] = []
-        for sealed in update.sealed:
-            result = self._finish_trajectory(sealed)
-            if result is not None:
-                results.append(result)
-        return results
-
-    def _finish_trajectory(self, sealed: SealedTrajectory) -> Optional[PipelineResult]:
-        if sealed.discarded:
-            self.stats.trajectories_discarded += 1
-            self._assemblies.pop(sealed.trajectory.trajectory_id, None)
-            return None
-        assembly = self._assembly_for(sealed.trajectory)
-        assembly.timer.record("compute_episode", sealed.compute_seconds)
-        for episode in sealed.final_episodes:
-            self._annotate_sealed_episode(assembly, episode)
-
-        trajectory = assembly.trajectory
-        timer = assembly.timer
-        result = PipelineResult(
-            trajectory=trajectory, episodes=assembly.episodes, latency=timer.profile
-        )
-        if self._persist:
-            with timer.stage("store_episode"):
-                self._store.save_trajectory(trajectory)
-        if self._annotators.region is not None:
-            result.region_trajectory = StructuredSemanticTrajectory(
-                trajectory_id=f"{trajectory.trajectory_id}:region-episodes",
-                object_id=trajectory.object_id,
-                records=assembly.region_records,
-            )
-        if self._annotators.line is not None:
-            result.line_trajectories = assembly.line_trajectories
-        if self._annotators.point is not None and assembly.stops:
-            with timer.stage("poi_annotation"):
-                result.point_trajectory = self._annotators.point.annotate_stops(assembly.stops)
-                result.trajectory_category = self._annotators.point.classify_trajectory(
-                    assembly.stops
-                )
-        if self._persist:
-            with timer.stage("store_match_result"):
-                self._store.save_episodes(assembly.episodes)
-
-        self._assemblies.pop(trajectory.trajectory_id, None)
-        self.stats.results += 1
-        if self._on_result is not None:
-            self._on_result(result)
-        return result
-
-    # ------------------------------------------------------------- annotation
-    def _annotate_sealed_episode(self, assembly: _TrajectoryAssembly, episode: Episode) -> None:
-        """Route one sealed episode through the region and line layers.
-
-        Stop episodes are additionally buffered for the point layer, which
-        decodes the whole stop sequence at trajectory close.
-        """
-        assembly.episodes.append(episode)
-        timer = assembly.timer
-        if self._annotators.region is not None:
-            with timer.stage("landuse_join"):
-                assembly.region_records.append(
-                    self._annotators.region.annotate_episode(episode)
-                )
-        if episode.is_move and self._annotators.line is not None and self._windowed is not None:
-            with timer.stage("map_match"):
-                matched = self._windowed.match_stream(list(episode.points))
-                assembly.line_trajectories.append(
-                    self._annotators.line.annotate_matched(episode, matched)
-                )
-        if episode.is_stop:
-            assembly.stops.append(episode)
-        self.stats.episodes_sealed += 1
-        if self._on_episode is not None:
-            self._on_episode(episode)
-
-    def _assembly_for(self, trajectory: RawTrajectory) -> _TrajectoryAssembly:
-        assembly = self._assemblies.get(trajectory.trajectory_id)
-        if assembly is None:
-            assembly = _TrajectoryAssembly(trajectory)
-            self._assemblies[trajectory.trajectory_id] = assembly
-        return assembly
+        return self._executor.close_all()

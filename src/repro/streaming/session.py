@@ -167,7 +167,9 @@ class Session:
             segment = self._segment_counters.get(self.object_id, 0)
             self._segment_counters[self.object_id] = segment + 1
             trajectory_id = f"{self.object_id}-t{segment}"
-            self.trajectory = OpenTrajectory(fix, object_id=self.object_id, trajectory_id=trajectory_id)
+            self.trajectory = OpenTrajectory(
+                fix, object_id=self.object_id, trajectory_id=trajectory_id
+            )
             self.detector = IncrementalStopMoveDetector(
                 self.trajectory, self._config.stop_move, backend=self._config.compute.backend
             )

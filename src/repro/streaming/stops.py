@@ -43,7 +43,7 @@ annotations.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.core.arrays import GrowableArray
 from repro.core.config import StopMoveConfig

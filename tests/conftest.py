@@ -7,6 +7,7 @@ tests must therefore treat them as read-only.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -18,6 +19,26 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.core import AnnotationSources, PipelineConfig, SeMiTriPipeline  # noqa: E402
+
+# ``SEMITRI_TEST_PIPELINE_EXECUTOR`` reroutes every ``annotate_many`` call in
+# the suite through the stage-graph engine's sharded process-pool executor
+# (value: worker count, e.g. "4"), so CI can run the whole pipeline
+# integration suite against the parallel runtime.  Unset keeps the default
+# in-process sequential executor.
+_PIPELINE_EXECUTOR_WORKERS = os.environ.get("SEMITRI_TEST_PIPELINE_EXECUTOR")
+if _PIPELINE_EXECUTOR_WORKERS:
+    _WORKERS = int(_PIPELINE_EXECUTOR_WORKERS)
+
+    def _annotate_many_via_process_pool(
+        self, trajectories, sources, persist=False, annotators=None
+    ):
+        from repro.engine import ProcessPoolExecutor
+
+        plan = self.compile_plan(sources, annotators=annotators, persist=persist)
+        with ProcessPoolExecutor(workers=_WORKERS) as executor:
+            return executor.run(plan, list(trajectories))
+
+    SeMiTriPipeline.annotate_many = _annotate_many_via_process_pool  # type: ignore[method-assign]
 from repro.datasets import (  # noqa: E402
     GroundTruthDriveGenerator,
     PersonSimulator,

@@ -15,8 +15,9 @@ from repro.store.store import SemanticTrajectoryStore
 
 @pytest.fixture()
 def store():
-    with SemanticTrajectoryStore() as s:
-        yield s
+    s = SemanticTrajectoryStore()
+    yield s
+    s.close()
 
 
 @pytest.fixture()
@@ -122,3 +123,69 @@ class TestEpisodes:
 
     def test_annotations_for_unknown_episode_is_empty(self, store):
         assert store.annotations_for(999) == []
+
+
+class TestTransactionScope:
+    """``with store:`` defers commits: commit on clean exit, rollback on error."""
+
+    def test_clean_exit_commits(self, store, trajectory):
+        with store:
+            store.save_trajectory(trajectory)
+            store.save_episode(Episode(EpisodeKind.STOP, trajectory, 0, 5))
+            assert store.in_transaction_scope
+        assert not store.in_transaction_scope
+        assert store.trajectory_count() == 1
+        assert store.episode_count() == 1
+
+    def test_exception_rolls_back_everything(self, store, trajectory):
+        with pytest.raises(RuntimeError):
+            with store:
+                store.save_trajectory(trajectory)
+                store.save_episode(Episode(EpisodeKind.STOP, trajectory, 0, 5))
+                raise RuntimeError("annotation stage blew up")
+        assert store.trajectory_count() == 0
+        assert store.episode_count() == 0
+
+    def test_nested_scopes_commit_once_at_the_outermost_exit(self, store, trajectory):
+        with store:
+            store.save_trajectory(trajectory)
+            with store:
+                store.save_episode(Episode(EpisodeKind.MOVE, trajectory, 0, 19))
+            # Still inside the outer scope: nothing is committed yet, and the
+            # scope survives the inner exit.
+            assert store.in_transaction_scope
+        assert store.trajectory_count() == 1
+        assert store.episode_count() == 1
+
+    def test_inner_exception_rolls_back_the_whole_scope(self, store, trajectory):
+        with pytest.raises(RuntimeError):
+            with store:
+                store.save_trajectory(trajectory)
+                with store:
+                    raise RuntimeError("inner stage failed")
+        assert store.trajectory_count() == 0
+
+    def test_swallowed_write_failure_refuses_to_commit(self, store, trajectory):
+        """A failed write poisons the scope even if its error is swallowed."""
+        with pytest.raises(StoreError, match="rolled back"):
+            with store:
+                store.save_trajectory(trajectory)
+                with pytest.raises(StoreError):
+                    store.save_trajectory(trajectory)  # duplicate id fails
+        assert store.trajectory_count() == 0
+
+    def test_writes_outside_any_scope_commit_immediately(self, store, trajectory):
+        store.save_trajectory(trajectory)
+        assert store.trajectory_count() == 1
+
+    def test_swallowed_inner_scope_failure_poisons_outer_scope(self, store, trajectory):
+        """Inner-scope exceptions cannot be swallowed into an outer commit."""
+        with pytest.raises(StoreError, match="rolled back"):
+            with store:
+                store.save_trajectory(trajectory)
+                try:
+                    with store:
+                        raise RuntimeError("inner stage failed")
+                except RuntimeError:
+                    pass  # caller swallows: the outer scope must still refuse
+        assert store.trajectory_count() == 0
