@@ -68,6 +68,7 @@ def save_result(
     text: str,
     data: object = None,
     metrics: Optional[Dict[str, float]] = None,
+    telemetry: Optional[Dict[str, object]] = None,
 ) -> None:
     """Write a rendered table/series to ``results/<name>.txt`` and echo it.
 
@@ -77,8 +78,10 @@ def save_result(
     it embedded verbatim under the ``"data"`` key.  ``metrics`` is the
     contract with ``scripts/check_bench_regression.py``: a flat name →
     higher-is-better throughput mapping the CI bench gate compares against
-    the committed baselines.  Every sidecar also records the machine facts of
-    :func:`machine_metadata` so regressions are compared like with like.
+    the committed baselines.  ``telemetry`` is observability context — span
+    counts, registry snapshots — recorded for inspection only; the regression
+    gate explicitly ignores it.  Every sidecar also records the machine facts
+    of :func:`machine_metadata` so regressions are compared like with like.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
@@ -89,6 +92,7 @@ def save_result(
         "text": text.splitlines(),
         "data": data,
         "metrics": metrics,
+        "telemetry": telemetry if telemetry is not None else {"enabled": False},
         "machine": machine_metadata(),
     }
     json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")

@@ -18,7 +18,7 @@ import dataclasses
 
 from benchmarks.conftest import save_result
 from repro.analytics.reporting import render_table
-from repro.core import PipelineConfig, SeMiTriPipeline
+from repro.core import ObservabilityConfig, PipelineConfig, SeMiTriPipeline
 from repro.core.config import ComputeConfig
 from repro.parallel import canonical_bytes
 from repro.store.store import SemanticTrajectoryStore
@@ -114,6 +114,37 @@ def test_fig17_latency(benchmark, world, people_dataset, annotation_sources):
         title="Figure 17 - Latency per processing stage (people trajectories)",
     )
 
+    # One extra *untimed* run with full observability on: proves telemetry
+    # cannot change the annotation output, and fills the sidecar's telemetry
+    # section with the registry snapshot of a traced run.
+    observed_config = dataclasses.replace(
+        PipelineConfig.for_people(),
+        compute=ComputeConfig(backend="numpy", index_backend="flat"),
+        observability=ObservabilityConfig(enabled=True),
+    )
+    from repro.engine import Plan, SequentialExecutor
+
+    observed_store = SemanticTrajectoryStore()
+    observed_plan = Plan.compile(
+        sources=annotation_sources,
+        config=observed_config,
+        store=observed_store,
+        persist=True,
+    )
+    observed_results = SequentialExecutor().run(
+        observed_plan, people_dataset.all_trajectories
+    )
+    observed_store.close()
+    assert canonical_bytes(observed_results) == tree_bytes  # telemetry is inert
+    assert observed_plan.telemetry.tracer is not None
+    assert observed_plan.telemetry.metrics is not None
+    telemetry_section = {
+        "enabled": True,
+        "span_count": len(observed_plan.telemetry.tracer.spans),
+        "trace_count": len(observed_plan.telemetry.tracer.traces()),
+        "metrics": observed_plan.telemetry.metrics.snapshot(),
+    }
+
     map_match_speedup = tree_profile.mean("map_match") / flat_profile.mean("map_match")
     metrics = {
         # Ratio metric (machine-normalised): how much faster the flat index
@@ -126,7 +157,13 @@ def test_fig17_latency(benchmark, world, people_dataset, annotation_sources):
             flat_profile.count("map_match") / flat_profile.total("map_match"), 2
         ),
     }
-    save_result("fig17_latency", text, data={"stages": series}, metrics=metrics)
+    save_result(
+        "fig17_latency",
+        text,
+        data={"stages": series},
+        metrics=metrics,
+        telemetry=telemetry_section,
+    )
 
     assert flat_profile.count("compute_episode") == len(people_dataset.all_trajectories)
     # Episode computation is cheap relative to the heavier annotation stages,

@@ -63,10 +63,15 @@ UPDATE_HINT = (
 
 def load_sidecar(path: Path) -> Optional[dict]:
     try:
-        return json.loads(path.read_text(encoding="utf-8"))
+        payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as error:
         print(f"ERROR: cannot read {path}: {error}")
         return None
+    # The telemetry section (span counts, metric snapshots) is observability
+    # context, not a performance contract: drop it so a baseline recorded
+    # with tracing off gates a run recorded with tracing on, and vice versa.
+    payload.pop("telemetry", None)
+    return payload
 
 
 def fingerprint(payload: dict) -> Dict[str, object]:

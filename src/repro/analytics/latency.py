@@ -13,7 +13,7 @@ import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 #: The five stages of Figure 17, in presentation order.
 FIGURE17_STAGES: Sequence[str] = (
@@ -88,7 +88,7 @@ class LatencyProfile:
 class StageTimer:
     """Measures named stages and accumulates them into a :class:`LatencyProfile`."""
 
-    def __init__(self, profile: LatencyProfile = None):  # type: ignore[assignment]
+    def __init__(self, profile: Optional[LatencyProfile] = None):
         self.profile = profile if profile is not None else LatencyProfile()
 
     @contextmanager

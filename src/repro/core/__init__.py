@@ -41,6 +41,7 @@ from repro.core.trajectory import SemanticTrajectory, StructuredSemanticTrajecto
 from repro.core.config import (
     ComputeConfig,
     MapMatchingConfig,
+    ObservabilityConfig,
     ParallelConfig,
     PipelineConfig,
     PointAnnotationConfig,
@@ -78,6 +79,7 @@ __all__ = [
     "SemanticTrajectory",
     "StructuredSemanticTrajectory",
     "ComputeConfig",
+    "ObservabilityConfig",
     "ParallelConfig",
     "PipelineConfig",
     "StopMoveConfig",

@@ -9,6 +9,7 @@ structure) live in one place and are easy to sweep in the benchmarks.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -340,6 +341,73 @@ class ParallelConfig:
             raise ConfigurationError("shards_per_worker must be at least 1")
 
 
+#: Exporter names :class:`ObservabilityConfig` accepts.
+OBSERVABILITY_EXPORTERS: Tuple[str, ...] = ("jsonl", "prometheus", "summary")
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Selection of the telemetry subsystem (:mod:`repro.obs`).
+
+    Disabled by default: every executor then runs the exact pre-telemetry
+    code path (no tracer, no registry, no per-event bookkeeping), so the
+    disabled overhead is unmeasurable.  When ``enabled`` is true the compiled
+    :class:`~repro.engine.plan.Plan` carries a
+    :class:`~repro.obs.runtime.Telemetry` runtime whose tracer emits one
+    per-trajectory span tree (trace id = trajectory id, one span per stage,
+    surviving the process-pool boundary) and whose
+    :class:`~repro.obs.metrics.MetricsRegistry` collects engine, streaming
+    and store metrics with the existing latency profiles as the stage-latency
+    histogram backend.
+    """
+
+    enabled: bool = False
+    """Master switch; off keeps the zero-overhead no-op path."""
+
+    tracing: bool = True
+    """Emit per-trajectory spans (only meaningful when ``enabled``)."""
+
+    metrics: bool = True
+    """Maintain the metrics registry (only meaningful when ``enabled``)."""
+
+    exporters: Tuple[str, ...] = ()
+    """Exporters :meth:`Telemetry.export` runs: any of ``"jsonl"``,
+    ``"prometheus"``, ``"summary"``."""
+
+    export_path: Optional[str] = None
+    """Directory the file exporters write into (defaults to the CWD)."""
+
+    def __post_init__(self) -> None:
+        unknown = set(self.exporters).difference(OBSERVABILITY_EXPORTERS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown exporters {sorted(unknown)!r}; "
+                f"expected a subset of {list(OBSERVABILITY_EXPORTERS)}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "ObservabilityConfig":
+        """The default observability block, overridable via the environment.
+
+        ``SEMITRI_OBSERVABILITY`` set to ``trace``/``on``/``1`` enables full
+        telemetry, ``metrics`` enables the registry without spans; unset (or
+        ``off``/``0``) keeps the disabled default.  This is how the CI parity
+        leg reruns the whole suite with tracing enabled without touching any
+        test.
+        """
+        value = os.environ.get("SEMITRI_OBSERVABILITY", "").strip().lower()
+        if value in ("", "0", "off", "false"):
+            return cls()
+        if value in ("1", "on", "true", "trace", "full"):
+            return cls(enabled=True)
+        if value == "metrics":
+            return cls(enabled=True, tracing=False)
+        raise ConfigurationError(
+            f"unknown SEMITRI_OBSERVABILITY value {value!r}; "
+            "expected 'trace', 'metrics', 'on' or 'off'"
+        )
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """Top-level configuration bundling every layer's parameters."""
@@ -356,6 +424,7 @@ class PipelineConfig:
     streaming: StreamingConfig = field(default_factory=StreamingConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     compute: ComputeConfig = field(default_factory=ComputeConfig)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig.from_env)
 
     @classmethod
     def for_vehicles(cls) -> "PipelineConfig":

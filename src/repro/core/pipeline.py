@@ -40,6 +40,7 @@ from repro.store.store import SemanticTrajectoryStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.engine.plan import Plan
+    from repro.obs.trace import Span
 
     #: One compiled-plan cache entry: the id-anchoring objects plus the plan.
     _CachedPlan = Tuple["LayerAnnotators", Optional["AnnotationSources"], "Plan"]
@@ -128,6 +129,14 @@ class PipelineResult:
     point_trajectory: Optional[StructuredSemanticTrajectory] = None
     trajectory_category: Optional[str] = None
     latency: LatencyProfile = field(default_factory=LatencyProfile)
+    spans: List["Span"] = field(default_factory=list)
+    """Trace spans emitted for this trajectory (empty unless tracing is on).
+
+    Spans are plain picklable dataclasses, so a result produced inside a
+    pool worker carries its spans back to the parent process, where the
+    plan's tracer adopts them (see :meth:`repro.obs.runtime.Telemetry.collect`).
+    Like ``latency``, spans are telemetry — excluded from canonical bytes.
+    """
 
     @property
     def stops(self) -> List[Episode]:

@@ -70,7 +70,7 @@ def run_stages(
     inside one store transaction scope — committed on success, rolled back if
     any stage raises — so a trajectory is never half-persisted.
     """
-    item = WorkItem.start(trajectory)
+    item = WorkItem.start(trajectory, plan.telemetry)
     scope: ContextManager[object] = (
         plan.store if plan.persist and include_writeback and plan.store is not None
         else nullcontext()
@@ -80,8 +80,13 @@ def run_stages(
             if stage.writes_back and not include_writeback:
                 continue
             if stage.ready(item):
-                with item.timer.stage(stage.name):
+                with item.stage_scope(stage.name):
                     stage.run(item)
+    # Seal the trace onto the result, but never collect here: collection into
+    # the plan's registry/tracer happens exactly once per result, in the
+    # parent process (the executors and merge_shard_results), so worker-side
+    # runs just ship their spans back attached to the pickled result.
+    item.finish_trace()
     return item.result
 
 
@@ -126,14 +131,41 @@ def merge_shard_results(
     writer = (
         ShardedStoreWriter(plan.store) if plan.persist and plan.store is not None else None
     )
+    telemetry = plan.telemetry if plan.telemetry.enabled else None
     for shard_index, items in shard_results:
         for order, result in items:
+            if telemetry is not None:
+                # The single collection point for sharded runs: latency folds
+                # into the registry and worker-emitted spans are adopted
+                # (re-parented) into the parent-process tracer.
+                telemetry.collect(result)
             ordered[order] = result
             if writer is not None:
                 writer.add_result(shard_index, order, result)
     if writer is not None:
         writer.commit()
     return [ordered[index] for index in range(count)]
+
+
+def _count_batch(
+    plan: Plan,
+    executor: str,
+    trajectories: Sequence[RawTrajectory],
+    results: Sequence[PipelineResult],
+) -> None:
+    """Fold one finished batch into the registry's engine throughput counters.
+
+    Counterpart of the live :class:`EngineStats` counters of the micro-batch
+    executor: the batch executors count whole batches after the fact, so all
+    three executor kinds expose the same ``engine_*_total`` series (labelled
+    by executor) from one registry.
+    """
+    counters = plan.telemetry.engine_counters(executor)
+    if counters is None:
+        return
+    counters.events.inc(sum(len(trajectory) for trajectory in trajectories))
+    counters.results.inc(len(results))
+    counters.episodes_sealed.inc(sum(len(result.episodes) for result in results))
 
 
 # ------------------------------------------------------------------ executors
@@ -162,14 +194,26 @@ class SequentialExecutor(Executor):
                 run_stages(plan, trajectory, include_writeback=False)
                 for trajectory in trajectories
             ]
-            return merge_shard_results(
+            # merge_shard_results is the collection point for deferred runs.
+            merged = merge_shard_results(
                 plan, len(results), [(0, list(enumerate(results)))]
             )
-        return [run_stages(plan, trajectory) for trajectory in trajectories]
+            _count_batch(plan, self.kind, trajectories, merged)
+            return merged
+        results = [run_stages(plan, trajectory) for trajectory in trajectories]
+        if plan.telemetry.enabled:
+            for result in results:
+                plan.telemetry.collect(result)
+        _count_batch(plan, self.kind, trajectories, results)
+        return results
 
     def run_one(self, plan: Plan, trajectory: RawTrajectory) -> PipelineResult:
         """Annotate a single trajectory (inline write-back when persisting)."""
-        return run_stages(plan, trajectory)
+        result = run_stages(plan, trajectory)
+        if plan.telemetry.enabled:
+            plan.telemetry.collect(result)
+        _count_batch(plan, self.kind, [trajectory], [result])
+        return result
 
 
 # Worker-process state, set once by the pool initializer.  Under the ``fork``
@@ -276,7 +320,9 @@ class ProcessPoolExecutor(Executor):
         else:
             pool = self._ensure_pool(plan.geo_context())
             shard_results = list(pool.map(_annotate_shard, shards))
-        return merge_shard_results(plan, len(trajectories), shard_results)
+        merged = merge_shard_results(plan, len(trajectories), shard_results)
+        _count_batch(plan, self.kind, trajectories, merged)
+        return merged
 
     def _ensure_pool(self, context: GeoContext) -> _FuturesProcessPool:
         if self._pool is not None:
@@ -315,7 +361,14 @@ class ProcessPoolExecutor(Executor):
 # ------------------------------------------------------------- micro-batching
 @dataclass
 class EngineStats:
-    """Counters a micro-batch executor maintains while processing the stream."""
+    """Counters a micro-batch executor maintains while processing the stream.
+
+    Historically micro-batch-only.  When the plan's telemetry enables
+    metrics, the same vocabulary is also published as ``engine_*_total``
+    registry counters labelled by executor kind — for **all three**
+    executors, so sequential and process-pool throughput is observable with
+    the same series (see :class:`repro.obs.metrics.EngineCounters`).
+    """
 
     events: int = 0
     results: int = 0
@@ -351,7 +404,9 @@ class MicroBatchExecutor(Executor):
         self._streaming = plan.config.streaming
         self._on_result = on_result
         self._on_episode = on_episode
-        self._sessions = SessionManager(plan.config)
+        self._counters = plan.telemetry.engine_counters(self.kind)
+        self._streaming_metrics = plan.telemetry.streaming_metrics()
+        self._sessions = SessionManager(plan.config, metrics=self._streaming_metrics)
         self._pending: List[Tuple[str, SpatioTemporalPoint]] = []
         self._items: Dict[str, WorkItem] = {}
         match_stage = plan.stage("map_match")
@@ -419,6 +474,10 @@ class MicroBatchExecutor(Executor):
         """
         self._pending.append((object_id, point))
         self.stats.events += 1
+        if self._counters is not None:
+            self._counters.events.inc()
+            assert self._streaming_metrics is not None
+            self._streaming_metrics.pending_events.set(len(self._pending))
         if len(self._pending) >= self._streaming.micro_batch_size:
             return self._process_pending()
         return []
@@ -461,6 +520,10 @@ class MicroBatchExecutor(Executor):
         if not self._pending:
             return []
         self.stats.processing_passes += 1
+        if self._counters is not None:
+            self._counters.processing_passes.inc()
+            assert self._streaming_metrics is not None
+            self._streaming_metrics.pending_events.set(0)
         # Take the batch before touching any session: if a push or a stage
         # raises mid-pass, already-absorbed events must not be replayed into
         # their sessions by the next pass.
@@ -486,7 +549,7 @@ class MicroBatchExecutor(Executor):
         item = self._item_for(trajectory)
         started = time.perf_counter()
         sealed = session.advance()
-        item.timer.record("compute_episode", time.perf_counter() - started)
+        item.record_stage("compute_episode", time.perf_counter() - started)
         for episode in sealed:
             self._absorb_episode(item, episode)
 
@@ -504,10 +567,12 @@ class MicroBatchExecutor(Executor):
     def _finish_trajectory(self, sealed: SealedTrajectory) -> Optional[PipelineResult]:
         if sealed.discarded:
             self.stats.trajectories_discarded += 1
+            if self._counters is not None:
+                self._counters.trajectories_discarded.inc()
             self._items.pop(sealed.trajectory.trajectory_id, None)
             return None
         item = self._item_for(sealed.trajectory)
-        item.timer.record("compute_episode", sealed.compute_seconds)
+        item.record_stage("compute_episode", sealed.compute_seconds)
         for episode in sealed.final_episodes:
             self._absorb_episode(item, episode)
 
@@ -519,11 +584,16 @@ class MicroBatchExecutor(Executor):
             for stage in plan.stages:
                 stage.close_out(item)
                 if stage.finishes(item):
-                    with item.timer.stage(stage.name):
+                    with item.stage_scope(stage.name):
                         stage.finish(item)
 
         self._items.pop(item.trajectory.trajectory_id, None)
         self.stats.results += 1
+        item.finish_trace()
+        if plan.telemetry.enabled:
+            plan.telemetry.collect(item.result)
+        if self._counters is not None:
+            self._counters.results.inc()
         if self._on_result is not None:
             self._on_result(item.result)
         return item.result
@@ -534,16 +604,18 @@ class MicroBatchExecutor(Executor):
         item.result.episodes.append(episode)
         for stage in self._plan.stages:
             if stage.wants_episode(item, episode):
-                with item.timer.stage(stage.name):
+                with item.stage_scope(stage.name):
                     stage.absorb_episode(item, episode)
         self.stats.episodes_sealed += 1
+        if self._counters is not None:
+            self._counters.episodes_sealed.inc()
         if self._on_episode is not None:
             self._on_episode(episode)
 
     def _item_for(self, trajectory: RawTrajectory) -> WorkItem:
         item = self._items.get(trajectory.trajectory_id)
         if item is None:
-            item = WorkItem.start(trajectory)
+            item = WorkItem.start(trajectory, self._plan.telemetry)
             item.windowed_matcher = self._windowed
             self._items[trajectory.trajectory_id] = item
         return item

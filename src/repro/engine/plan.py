@@ -38,6 +38,7 @@ from repro.engine.stages import (
     StoreEpisodesStage,
     StoreTrajectoryStage,
 )
+from repro.obs.runtime import DISABLED, Telemetry
 from repro.store.store import SemanticTrajectoryStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -65,6 +66,14 @@ class Plan:
     sources: Optional[AnnotationSources] = None
     store: Optional[SemanticTrajectoryStore] = None
     persist: bool = False
+    telemetry: Telemetry = field(default=DISABLED, repr=False, compare=False)
+    """Observability runtime selected by ``config.observability``.
+
+    The shared no-op :data:`~repro.obs.runtime.DISABLED` singleton unless the
+    configuration enables observability, in which case :meth:`compile` builds
+    a live :class:`~repro.obs.runtime.Telemetry` and (when the plan persists)
+    binds the store's transaction metrics to its registry.
+    """
     _context: Optional["GeoContext"] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------ compilation
@@ -119,6 +128,9 @@ class Plan:
             assert store is not None
             stages.append(StoreEpisodesStage(store))
 
+        telemetry = Telemetry.from_config(config.observability)
+        if store is not None and telemetry.metrics is not None:
+            store.bind_metrics(telemetry.metrics)
         plan = cls(
             config=config,
             annotators=annotators,
@@ -127,6 +139,7 @@ class Plan:
             sources=sources,
             store=store,
             persist=persist_enabled,
+            telemetry=telemetry,
         )
         plan.validate()
         return plan

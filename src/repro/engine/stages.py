@@ -51,6 +51,8 @@ from repro.streaming.matching import WindowedMapMatcher
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.core.pipeline import PipelineResult
+    from repro.obs.runtime import Telemetry
+    from repro.obs.trace import TrajectoryTrace
 
 
 @dataclass
@@ -60,6 +62,10 @@ class WorkItem:
     Wraps the growing :class:`~repro.core.pipeline.PipelineResult` together
     with the latency timer and the scratch state streaming stages accumulate
     between episode seals (region records, the per-engine windowed matcher).
+    When the plan's telemetry has tracing enabled the item also carries the
+    trajectory's open :class:`~repro.obs.trace.TrajectoryTrace`; with the
+    default no-op telemetry ``trace`` stays ``None`` and every hook below
+    collapses to the plain timer path.
     """
 
     trajectory: RawTrajectory
@@ -68,15 +74,43 @@ class WorkItem:
     region_records: List[SemanticEpisodeRecord] = field(default_factory=list)
     windowed_matcher: Optional[WindowedMapMatcher] = None
     """Streaming map matcher supplied by the micro-batch executor."""
+    trace: Optional["TrajectoryTrace"] = None
+    """Open trace when the plan's telemetry has tracing enabled."""
 
     @classmethod
-    def start(cls, trajectory: RawTrajectory) -> "WorkItem":
+    def start(
+        cls, trajectory: RawTrajectory, telemetry: Optional["Telemetry"] = None
+    ) -> "WorkItem":
         """Fresh work item whose result shares the timer's latency profile."""
         from repro.core.pipeline import PipelineResult  # deferred: import cycle
 
         timer = StageTimer()
         result = PipelineResult(trajectory=trajectory, episodes=[], latency=timer.profile)
-        return cls(trajectory=trajectory, result=result, timer=timer)
+        trace = telemetry.start_trace(trajectory.trajectory_id) if telemetry else None
+        return cls(trajectory=trajectory, result=result, timer=timer, trace=trace)
+
+    def stage_scope(self, name: str):
+        """Timing scope for one stage run: latency sample plus span (if tracing).
+
+        Both paths feed the same :class:`LatencyProfile` from a single
+        ``perf_counter`` pair, so enabling tracing adds a span without
+        perturbing the Figure 17 samples.
+        """
+        if self.trace is not None:
+            return self.trace.stage(name, self.timer.profile)
+        return self.timer.stage(name)
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        """Record an externally measured stage duration (plus span if tracing)."""
+        self.timer.record(name, seconds)
+        if self.trace is not None:
+            self.trace.record(name, seconds)
+
+    def finish_trace(self) -> None:
+        """Seal the trace and attach its spans to the result (no-op untraced)."""
+        if self.trace is not None:
+            self.result.spans = self.trace.close()
+            self.trace = None
 
 
 class Stage(abc.ABC):

@@ -9,13 +9,16 @@ path for durable storage.
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.annotations import Annotation, GeographicReferenceAnnotation, ValueAnnotation
 from repro.core.episodes import Episode, EpisodeKind
 from repro.core.errors import StoreError
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
 from repro.store.schema import SCHEMA_STATEMENTS
+
+if TYPE_CHECKING:  # pragma: no cover - metrics are optional at runtime
+    from repro.obs.metrics import MetricsRegistry, StoreMetrics
 
 
 class SemanticTrajectoryStore:
@@ -39,6 +42,17 @@ class SemanticTrajectoryStore:
         self._connection.commit()
         self._tx_depth = 0
         self._tx_failed = False
+        self._metrics: Optional["StoreMetrics"] = None
+
+    def bind_metrics(self, registry: "MetricsRegistry") -> None:
+        """Publish transaction and row counters into a metrics registry.
+
+        Called by :meth:`Plan.compile` when the pipeline configuration enables
+        metrics; an unbound store (the default) skips all counting.
+        """
+        from repro.obs.metrics import StoreMetrics  # deferred: keep store import light
+
+        self._metrics = StoreMetrics(registry)
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -62,6 +76,8 @@ class SemanticTrajectoryStore:
         failed, self._tx_failed = self._tx_failed, False
         if exc_type is not None or failed:
             self._connection.rollback()
+            if self._metrics is not None:
+                self._metrics.rollbacks.inc()
             if exc_type is None:
                 # A write failed mid-scope, its error was swallowed by the
                 # caller and the scope exited cleanly: committing now would
@@ -69,6 +85,8 @@ class SemanticTrajectoryStore:
                 raise StoreError("transaction scope failed earlier; rolled back")
         else:
             self._connection.commit()
+            if self._metrics is not None:
+                self._metrics.commits.inc()
 
     @property
     def in_transaction_scope(self) -> bool:
@@ -80,6 +98,8 @@ class SemanticTrajectoryStore:
         """Commit now, unless a surrounding scope defers it to scope exit."""
         if self._tx_depth == 0:
             self._connection.commit()
+            if self._metrics is not None:
+                self._metrics.commits.inc()
 
     def _rollback(self) -> None:
         """Roll back after a failed write.
@@ -89,7 +109,11 @@ class SemanticTrajectoryStore:
         """
         self._connection.rollback()
         if self._tx_depth > 0:
+            # Not a terminal rollback: the outermost scope exit rolls back
+            # (and counts) the whole failed transaction once.
             self._tx_failed = True
+        elif self._metrics is not None:
+            self._metrics.rollbacks.inc()
 
     # ------------------------------------------------------------------ writes
     def save_trajectory(self, trajectory: RawTrajectory, store_points: bool = True) -> None:
@@ -110,6 +134,8 @@ class SemanticTrajectoryStore:
             self._rollback()
             raise
         self._commit()
+        if self._metrics is not None:
+            self._metrics.observe_write(1 + (len(trajectory) if store_points else 0))
 
     def save_episode(self, episode: Episode) -> int:
         """Persist one episode (and its annotations); returns its store identifier."""
@@ -122,6 +148,7 @@ class SemanticTrajectoryStore:
         attached annotation go into one transaction — the write shape the
         streaming engine relies on for per-trajectory persistence throughput.
         """
+        episodes = list(episodes)
         cursor = self._connection.cursor()
         try:
             episode_ids = self._write_episodes(cursor, episodes)
@@ -129,6 +156,9 @@ class SemanticTrajectoryStore:
             self._rollback()
             raise
         self._commit()
+        if self._metrics is not None:
+            annotations = sum(len(episode.annotations) for episode in episodes)
+            self._metrics.observe_write(len(episodes) + annotations)
         return episode_ids
 
     def save_annotated_trajectories(
@@ -148,10 +178,15 @@ class SemanticTrajectoryStore:
         """
         cursor = self._connection.cursor()
         episode_ids: List[List[int]] = []
+        rows_written = 0
         try:
             for trajectory, episodes in items:
+                episodes = list(episodes)
                 self._write_trajectory(cursor, trajectory, store_points)
                 episode_ids.append(self._write_episodes(cursor, episodes))
+                rows_written += 1 + (len(trajectory) if store_points else 0)
+                rows_written += len(episodes)
+                rows_written += sum(len(episode.annotations) for episode in episodes)
         except sqlite3.IntegrityError as error:
             self._rollback()
             raise StoreError(f"batched write rejected: {error}") from error
@@ -159,6 +194,8 @@ class SemanticTrajectoryStore:
             self._rollback()
             raise
         self._commit()
+        if self._metrics is not None:
+            self._metrics.observe_write(rows_written)
         return episode_ids
 
     def save_annotations(self, episode_id: int, annotations: Sequence[Annotation]) -> None:
@@ -174,6 +211,8 @@ class SemanticTrajectoryStore:
             self._rollback()
             raise
         self._commit()
+        if self._metrics is not None:
+            self._metrics.observe_write(len(rows))
 
     @staticmethod
     def _write_trajectory(

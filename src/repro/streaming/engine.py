@@ -114,6 +114,11 @@ class StreamingAnnotationEngine:
         return self._executor.stats
 
     @property
+    def telemetry(self):
+        """The plan's observability runtime (the shared no-op when disabled)."""
+        return self._plan.telemetry
+
+    @property
     def open_session_count(self) -> int:
         """Number of currently open per-object sessions."""
         return self._executor.open_session_count

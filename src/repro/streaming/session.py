@@ -20,9 +20,12 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.config import PipelineConfig
+
+if TYPE_CHECKING:  # pragma: no cover - metrics are optional at runtime
+    from repro.obs.metrics import StreamingMetrics
 from repro.core.episodes import Episode
 from repro.core.errors import DataQualityError
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
@@ -91,9 +94,11 @@ class Session:
         config: PipelineConfig,
         apply_cleaning: bool,
         segment_counters: Optional[Dict[str, int]] = None,
+        metrics: Optional["StreamingMetrics"] = None,
     ):
         self.object_id = object_id
         self._config = config
+        self._metrics = metrics
         self._cleaner = StreamingGpsCleaner(config.cleaning) if apply_cleaning else None
         # Shared with the SessionManager so trajectory numbering stays unique
         # for an object across session recreations (close-out, LRU eviction).
@@ -162,6 +167,8 @@ class Session:
                 time_gap > identification.max_time_gap
                 or distance_gap > identification.max_distance_gap
             ):
+                if self._metrics is not None:
+                    self._metrics.gap_closeouts.inc()
                 update.sealed.append(self._seal())
         if self.trajectory is None:
             segment = self._segment_counters.get(self.object_id, 0)
@@ -202,7 +209,12 @@ class SessionManager:
     shard the engine when the object universe outgrows it).
     """
 
-    def __init__(self, config: PipelineConfig, apply_cleaning: Optional[bool] = None):
+    def __init__(
+        self,
+        config: PipelineConfig,
+        apply_cleaning: Optional[bool] = None,
+        metrics: Optional["StreamingMetrics"] = None,
+    ):
         self._config = config
         self._apply_cleaning = (
             config.streaming.apply_cleaning if apply_cleaning is None else apply_cleaning
@@ -210,6 +222,7 @@ class SessionManager:
         self._max_sessions = config.streaming.max_sessions
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
         self._segment_counters: Dict[str, int] = {}
+        self._metrics = metrics
         self.evicted_total = 0
 
     def __len__(self) -> int:
@@ -235,13 +248,17 @@ class SessionManager:
             _, lru = self._sessions.popitem(last=False)
             evicted.append(lru)
             self.evicted_total += 1
+            if self._metrics is not None:
+                self._metrics.evictions.inc()
         session = Session(
             object_id,
             self._config,
             self._apply_cleaning,
             segment_counters=self._segment_counters,
+            metrics=self._metrics,
         )
         self._sessions[object_id] = session
+        self._track_depth()
         return session, evicted
 
     def get(self, object_id: str) -> Optional[Session]:
@@ -250,10 +267,17 @@ class SessionManager:
 
     def pop(self, object_id: str) -> Optional[Session]:
         """Remove and return the session for ``object_id``, if any."""
-        return self._sessions.pop(object_id, None)
+        session = self._sessions.pop(object_id, None)
+        self._track_depth()
+        return session
 
     def pop_all(self) -> List[Session]:
         """Remove and return every live session (least recently active first)."""
         sessions = list(self._sessions.values())
         self._sessions.clear()
+        self._track_depth()
         return sessions
+
+    def _track_depth(self) -> None:
+        if self._metrics is not None:
+            self._metrics.open_sessions.set(len(self._sessions))
