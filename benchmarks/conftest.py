@@ -29,6 +29,7 @@ if str(_SRC) not in sys.path:
 RESULTS_DIR = _ROOT / "results"
 
 from repro.core import AnnotationSources, PipelineConfig, SeMiTriPipeline  # noqa: E402
+from repro.core.cpu import effective_cpu_count  # noqa: E402
 from repro.datasets import (  # noqa: E402
     GroundTruthDriveGenerator,
     PersonSimulator,
@@ -57,6 +58,9 @@ def machine_metadata() -> Dict[str, object]:
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
+        # What this process may actually run on (cgroup/affinity-aware):
+        # multi-core speedup claims are only meaningful against this number.
+        "effective_cores": effective_cpu_count(),
         "machine": platform.machine(),
         "system": platform.system(),
         "numpy": np.__version__,

@@ -1,36 +1,46 @@
 """Multi-core scaling of the sharded parallel annotation runner.
 
 Annotates a scalability-style workload (many objects, full annotation stack)
-three ways — sequential ``annotate_many``, the parallel runner on the serial
-executor (isolates sharding/merge overhead) and the parallel runner on a
-4-worker process pool against one shared :class:`GeoContext` snapshot — and
-reports throughput for each.  Output equality is asserted byte-for-byte on
-every run; the >1.5x speedup criterion is asserted whenever the machine
-actually has >= 4 usable cores (on smaller runners the numbers are still
-recorded so the perf trajectory across PRs keeps its JSON trail).
+across the executor/dispatch/transport matrix — sequential ``annotate_many``,
+the parallel runner on the serial executor (isolates sharding/merge overhead)
+and the 4-worker process pool under every dispatch mode (``static`` is the
+historical round-robin baseline, ``balanced`` bin-packs by GPS point count,
+``stealing`` adds finer shards drained largest-first) plus a
+``shared_memory="on"`` run that exercises the zero-copy segment transport —
+and reports throughput for each.  Output equality is asserted byte-for-byte
+on every run.
+
+The speedup gate is tiered by what the machine can actually deliver: the
+sidecar records the affinity-aware effective core count next to every number,
+pool modes are explicitly marked non-gating when the process cannot run
+``WORKERS`` ways in parallel, and the assertion arms only with >= 2 effective
+cores (>1.5x target at >= 4 cores, >1.1x at 2-3).  A 1-core runner records an
+honest <1x pool number instead of a silently-passed gate.
 """
 
 from __future__ import annotations
 
-import os
 import time
 from typing import List
 
 from benchmarks.conftest import save_result
 from repro.analytics.reporting import render_table
 from repro.core import PipelineConfig, SeMiTriPipeline
+from repro.core.cpu import effective_cpu_count
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
-from repro.parallel import GeoContext, ParallelAnnotationRunner, canonical_bytes
+from repro.parallel import (
+    GeoContext,
+    ParallelAnnotationRunner,
+    canonical_bytes,
+    canonical_digest,
+)
 
 WORKERS = 4
+#: Required pool speedup when the machine really has >= WORKERS cores.
 SPEEDUP_TARGET = 1.5
-
-
-def _usable_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux platforms
-        return os.cpu_count() or 1
+#: Reduced target on 2-3 core machines: perfect WORKERS-way scaling is
+#: impossible there, but the pool must still beat sequential.
+SPEEDUP_TARGET_SMALL = 1.1
 
 
 def _scalability_workload(world, objects: int = 8, points_per_object: int = 600):
@@ -62,6 +72,7 @@ def test_parallel_scaling(benchmark, world, annotation_sources):
     trajectories = _scalability_workload(world)
     total_points = sum(len(t) for t in trajectories)
     context = GeoContext.build(annotation_sources, config)
+    effective = effective_cpu_count()
 
     def best_of(rounds, fn):
         """Minimum wall time over several rounds: robust to scheduler noise."""
@@ -73,6 +84,27 @@ def test_parallel_scaling(benchmark, world, annotation_sources):
             elapsed = time.perf_counter() - started
             best = elapsed if best is None or elapsed < best else best
         return best, result
+
+    def timed_pool(dispatch: str, shared_memory: str = "auto"):
+        with ParallelAnnotationRunner(
+            config=config,
+            workers=WORKERS,
+            executor="process",
+            dispatch=dispatch,
+            shared_memory=shared_memory,
+        ) as runner:
+            # Warm the pool with a full-width batch so every worker is forked
+            # and primed before the timed rounds.
+            runner.annotate_many(trajectories, context=context)
+            return best_of(3, lambda: runner.annotate_many(trajectories, context=context))
+
+    #: mode name -> (timed fn, is this a pool mode the speedup gate may judge)
+    pool_modes = {
+        f"pool x{WORKERS} static": lambda: timed_pool("static"),
+        f"pool x{WORKERS} balanced": lambda: timed_pool("balanced"),
+        f"pool x{WORKERS} stealing": lambda: timed_pool("stealing"),
+        f"pool x{WORKERS} balanced+shm": lambda: timed_pool("balanced", "on"),
+    }
 
     def run():
         measured = {}
@@ -86,15 +118,8 @@ def test_parallel_scaling(benchmark, world, annotation_sources):
         measured["serial executor"] = best_of(
             3, lambda: serial_runner.annotate_many(trajectories, context=context)
         )
-        with ParallelAnnotationRunner(
-            config=config, workers=WORKERS, executor="process"
-        ) as pool_runner:
-            # Warm the pool with a full-width batch so every worker is forked
-            # and primed before the timed rounds.
-            pool_runner.annotate_many(trajectories, context=context)
-            measured[f"process pool x{WORKERS}"] = best_of(
-                3, lambda: pool_runner.annotate_many(trajectories, context=context)
-            )
+        for mode, fn in pool_modes.items():
+            measured[mode] = fn()
         return measured
 
     measured = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -103,35 +128,67 @@ def test_parallel_scaling(benchmark, world, annotation_sources):
     for mode, (_, results) in measured.items():
         assert canonical_bytes(results) == reference_bytes, f"{mode} output diverged"
 
+    gate_armed = effective >= 2
+    gate_target = SPEEDUP_TARGET if effective >= WORKERS else SPEEDUP_TARGET_SMALL
     sequential_seconds = measured["sequential"][0]
     rows = []
-    data = {"workers": WORKERS, "cores": _usable_cores(), "gps_points": total_points, "modes": {}}
+    data = {
+        "workers": WORKERS,
+        "effective_cores": effective,
+        "gps_points": total_points,
+        "canonical_digest": canonical_digest(measured["sequential"][1]),
+        "gate": {
+            "armed": gate_armed,
+            "target": gate_target if gate_armed else None,
+            "reason": (
+                f"{effective} effective core(s) >= 2"
+                if gate_armed
+                else f"only {effective} effective core(s); pool numbers recorded, not judged"
+            ),
+        },
+        "modes": {},
+    }
     for mode, (seconds, _) in measured.items():
         speedup = sequential_seconds / max(seconds, 1e-9)
+        is_pool = mode in pool_modes
         rows.append(
-            [mode, f"{seconds * 1e3:.0f}", f"{total_points / seconds:,.0f}", f"{speedup:.2f}x"]
+            [
+                mode,
+                f"{seconds * 1e3:.0f}",
+                f"{total_points / seconds:,.0f}",
+                f"{speedup:.2f}x",
+                ("yes" if gate_armed else "no") if is_pool else "-",
+            ]
         )
         data["modes"][mode] = {
             "seconds": seconds,
             "points_per_second": total_points / seconds,
             "speedup_vs_sequential": speedup,
+            "gating": is_pool and gate_armed,
         }
     text = render_table(
-        ["mode", "total ms", "GPS points/s", "speedup"],
+        ["mode", "total ms", "GPS points/s", "speedup", "gated"],
         rows,
-        title=f"Parallel annotation scaling ({len(trajectories)} objects, {total_points:,} points)",
+        title=(
+            f"Parallel annotation scaling ({len(trajectories)} objects, "
+            f"{total_points:,} points, {effective} effective core(s))"
+        ),
     )
     save_result("parallel_scaling", text, data=data)
 
-    pool_speedup = data["modes"][f"process pool x{WORKERS}"]["speedup_vs_sequential"]
     # Sharding/merge overhead must stay negligible on the serial executor.
     assert data["modes"]["serial executor"]["speedup_vs_sequential"] > 0.8
-    if _usable_cores() >= WORKERS:
-        assert pool_speedup > SPEEDUP_TARGET, (
-            f"expected >{SPEEDUP_TARGET}x at {WORKERS} workers, got {pool_speedup:.2f}x"
+    if gate_armed:
+        best_pool = max(
+            data["modes"][mode]["speedup_vs_sequential"] for mode in pool_modes
+        )
+        assert best_pool > gate_target, (
+            f"expected >{gate_target}x at {WORKERS} workers on {effective} cores, "
+            f"got {best_pool:.2f}x"
         )
     else:
-        print(
-            f"\n[only {_usable_cores()} usable core(s): recorded {pool_speedup:.2f}x, "
-            f"speedup gate needs >= {WORKERS} cores]"
+        pool_speedups = ", ".join(
+            f"{mode}: {data['modes'][mode]['speedup_vs_sequential']:.2f}x"
+            for mode in pool_modes
         )
+        print(f"\n[speedup gate disarmed on {effective} core(s); recorded {pool_speedups}]")

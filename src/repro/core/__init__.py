@@ -37,6 +37,7 @@ from repro.core.places import (
 )
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
 from repro.core.arrays import GrowableArray, TrajectoryArrays
+from repro.core.cpu import effective_cpu_count
 from repro.core.trajectory import SemanticTrajectory, StructuredSemanticTrajectory
 from repro.core.config import (
     ComputeConfig,
@@ -76,6 +77,7 @@ __all__ = [
     "SpatioTemporalPoint",
     "GrowableArray",
     "TrajectoryArrays",
+    "effective_cpu_count",
     "SemanticTrajectory",
     "StructuredSemanticTrajectory",
     "ComputeConfig",

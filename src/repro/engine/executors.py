@@ -26,9 +26,11 @@ from __future__ import annotations
 
 import abc
 import multiprocessing
+import multiprocessing.context
 import sys
 import time
 import weakref
+from concurrent.futures import BrokenExecutor, as_completed
 from concurrent.futures import ProcessPoolExecutor as _FuturesProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -90,8 +92,20 @@ def run_stages(
     return item.result
 
 
+def _group_by_object(
+    trajectories: Sequence[RawTrajectory],
+) -> Tuple[Dict[str, List[Tuple[int, RawTrajectory]]], Dict[str, int]]:
+    """Group a batch by object id (first-appearance order) with point loads."""
+    by_object: Dict[str, List[Tuple[int, RawTrajectory]]] = {}
+    loads: Dict[str, int] = {}
+    for order, trajectory in enumerate(trajectories):
+        by_object.setdefault(trajectory.object_id, []).append((order, trajectory))
+        loads[trajectory.object_id] = loads.get(trajectory.object_id, 0) + len(trajectory)
+    return by_object, loads
+
+
 def shard_by_object(trajectories: Sequence[RawTrajectory], shard_count: int) -> List[Shard]:
-    """Partition by object id into balanced shards, deterministically.
+    """Partition by object id into size-balanced shards, deterministically.
 
     Objects are assigned greedily (in first-appearance order) to the
     currently lightest shard, measured in GPS points — deterministic for a
@@ -99,11 +113,7 @@ def shard_by_object(trajectories: Sequence[RawTrajectory], shard_count: int) -> 
     of one object land in the same shard, which is what makes per-object
     sharding a pure reordering of the sequential output.
     """
-    by_object: Dict[str, List[Tuple[int, RawTrajectory]]] = {}
-    loads: Dict[str, int] = {}
-    for order, trajectory in enumerate(trajectories):
-        by_object.setdefault(trajectory.object_id, []).append((order, trajectory))
-        loads[trajectory.object_id] = loads.get(trajectory.object_id, 0) + len(trajectory)
+    by_object, loads = _group_by_object(trajectories)
     shard_count = max(1, min(shard_count, len(by_object)))
     shards: List[List[Tuple[int, RawTrajectory]]] = [[] for _ in range(shard_count)]
     shard_loads = [0] * shard_count
@@ -112,6 +122,54 @@ def shard_by_object(trajectories: Sequence[RawTrajectory], shard_count: int) -> 
         shards[target].extend(items)
         shard_loads[target] += loads[object_id]
     return [(index, items) for index, items in enumerate(shards) if items]
+
+
+def shard_static(trajectories: Sequence[RawTrajectory], shard_count: int) -> List[Shard]:
+    """Fixed object-id sharding: objects round-robin, ignoring per-object load.
+
+    The historical dispatch, kept as the ``dispatch="static"`` baseline: one
+    heavy object next to light ones leaves whole workers idle, which is the
+    skew :func:`shard_by_object` (``"balanced"``/``"stealing"``) fixes.
+    """
+    by_object, _ = _group_by_object(trajectories)
+    shard_count = max(1, min(shard_count, len(by_object)))
+    shards: List[List[Tuple[int, RawTrajectory]]] = [[] for _ in range(shard_count)]
+    for position, items in enumerate(by_object.values()):
+        shards[position % shard_count].extend(items)
+    return [(index, items) for index, items in enumerate(shards) if items]
+
+
+def dispatch_shards(
+    trajectories: Sequence[RawTrajectory], shard_count: int, dispatch: str = "balanced"
+) -> List[Shard]:
+    """Shard a batch according to a :class:`ParallelConfig` dispatch mode."""
+    if dispatch == "static":
+        return shard_static(trajectories, shard_count)
+    if dispatch in ("balanced", "stealing"):
+        return shard_by_object(trajectories, shard_count)
+    raise ConfigurationError(
+        f"unknown dispatch {dispatch!r}; expected 'static', 'balanced' or 'stealing'"
+    )
+
+
+def _shard_load(shard: Shard) -> int:
+    """GPS points in one shard (the work-stealing submission-order key)."""
+    return sum(len(trajectory) for _, trajectory in shard[1])
+
+
+def _pool_mp_context() -> multiprocessing.context.BaseContext:
+    """The explicit multiprocessing context every worker pool is built from.
+
+    ``fork`` where it is the safe platform default (Linux: children inherit
+    the frozen snapshot as copy-on-write memory), ``spawn`` everywhere else —
+    macOS forks can crash inside frameworks the parent already loaded, and
+    Windows has no fork.  Always explicit: relying on the *platform default*
+    start method would silently flip macOS runs to spawn-and-pickle without
+    the shared-memory auto mode noticing.
+    """
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
 
 
 def merge_shard_results(
@@ -219,16 +277,33 @@ class SequentialExecutor(Executor):
 # Worker-process state, set once by the pool initializer.  Under the ``fork``
 # start method the snapshot travels to the children as inherited copy-on-write
 # memory (the ``_FORK_CONTEXTS`` registry, keyed per pool so concurrent
-# executors cannot cross-contaminate lazily-forked workers); under ``spawn``
-# it is pickled once per worker through the initializer arguments.
+# executors cannot cross-contaminate lazily-forked workers); with shared
+# memory enabled the worker *attaches* to the parent's segment and rebuilds
+# zero-copy views; otherwise it is pickled once per worker through the
+# initializer arguments.
 _FORK_CONTEXTS: Dict[int, GeoContext] = {}
 _FORK_TOKENS = iter(range(1, 2**62))
 _WORKER_PLAN: Optional[Plan] = None
+# Keeps the attached shared-memory mapping alive for the worker's lifetime:
+# the plan's index arrays are views into it.  Never closed worker-side — the
+# parent owns the segment; process exit releases the mapping.
+_WORKER_BUNDLE: Optional["SharedArrayBundle"] = None
+
+if TYPE_CHECKING:  # pragma: no cover - import cycles broken at runtime
+    from repro.parallel.shared import SharedArrayBundle, SharedContextSpec, SharedGeoContext
 
 
-def _init_worker(token: Optional[int], pickled_context: Optional[GeoContext]) -> None:
-    global _WORKER_PLAN
+def _init_worker(
+    token: Optional[int],
+    pickled_context: Optional[GeoContext],
+    shared_spec: Optional["SharedContextSpec"] = None,
+) -> None:
+    global _WORKER_PLAN, _WORKER_BUNDLE
     context = _FORK_CONTEXTS.get(token) if token is not None else None
+    if context is None and shared_spec is not None:
+        from repro.parallel.shared import attach_context  # deferred: import cycle
+
+        context, _WORKER_BUNDLE = attach_context(shared_spec)
     if context is None:
         context = pickled_context
     assert context is not None, "worker started without a GeoContext"
@@ -247,11 +322,24 @@ def _annotate_shard(shard: Shard) -> Tuple[int, List[Tuple[int, PipelineResult]]
     ]
 
 
-def _release_pool_resources(pool: _FuturesProcessPool, fork_token: Optional[int]) -> None:
-    """Tear down an executor's pool and fork-registry entry (close() or GC)."""
+def _release_pool_resources(
+    pool: _FuturesProcessPool,
+    fork_token: Optional[int],
+    shared: Optional["SharedGeoContext"] = None,
+) -> None:
+    """Tear down an executor's pool, fork-registry entry and shared segment.
+
+    Runs on ``close()``, on garbage collection of a never-closed executor and
+    at interpreter exit (``weakref.finalize``), so the shared-memory segment
+    is unlinked on every path — including after a worker crash poisons the
+    pool.  Unlinking while workers still run is safe: only the name goes
+    away; their mappings stay valid until the processes exit.
+    """
     if fork_token is not None:
         _FORK_CONTEXTS.pop(fork_token, None)
     pool.shutdown(wait=False)
+    if shared is not None:
+        shared.close()
 
 
 class ProcessPoolExecutor(Executor):
@@ -267,14 +355,31 @@ class ProcessPoolExecutor(Executor):
 
     kind = "process"
 
-    def __init__(self, workers: int = 2, shards_per_worker: int = 2):
+    def __init__(
+        self,
+        workers: int = 2,
+        shards_per_worker: int = 2,
+        dispatch: str = "balanced",
+        shared_memory: str = "auto",
+    ):
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
+        if dispatch not in ("static", "balanced", "stealing"):
+            raise ConfigurationError(
+                f"unknown dispatch {dispatch!r}; expected 'static', 'balanced' or 'stealing'"
+            )
+        if shared_memory not in ("auto", "on", "off"):
+            raise ConfigurationError(
+                f"unknown shared_memory mode {shared_memory!r}; expected 'auto', 'on' or 'off'"
+            )
         self._workers = workers
         self._shards_per_worker = shards_per_worker
+        self._dispatch = dispatch
+        self._shared_memory = shared_memory
         self._pool: Optional[_FuturesProcessPool] = None
         self._pool_context: Optional[GeoContext] = None
         self._fork_token: Optional[int] = None
+        self._shared: Optional["SharedGeoContext"] = None
         self._pool_finalizer: Optional[weakref.finalize] = None
 
     @property
@@ -282,15 +387,29 @@ class ProcessPoolExecutor(Executor):
         """Number of worker processes the pool uses."""
         return self._workers
 
+    @property
+    def dispatch(self) -> str:
+        """The dispatch mode: ``"static"``, ``"balanced"`` or ``"stealing"``."""
+        return self._dispatch
+
+    @property
+    def shared_segment_name(self) -> Optional[str]:
+        """Name of the live shared-memory segment, when one is in use."""
+        if self._shared is not None:
+            return self._shared.segment_name
+        return None
+
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool and unlink shared segments (idempotent)."""
         if self._pool_finalizer is not None:
-            self._pool_finalizer()  # pops the fork registry and stops workers
+            # Pops the fork registry, stops workers, unlinks the segment.
+            self._pool_finalizer()
             self._pool_finalizer = None
         self._pool = None
         self._pool_context = None
         self._fork_token = None
+        self._shared = None
 
     def __enter__(self) -> "ProcessPoolExecutor":
         return self
@@ -303,8 +422,12 @@ class ProcessPoolExecutor(Executor):
         trajectories = list(trajectories)
         if not trajectories:
             return []
-        shard_count = max(1, min(self._workers * self._shards_per_worker, len(trajectories)))
-        shards = shard_by_object(trajectories, shard_count)
+        # Work stealing wants finer shards than the fixed assignment modes:
+        # more pending shards means an idle worker always has something to
+        # steal, at slightly higher scheduling/merge overhead.
+        multiplier = self._shards_per_worker * (2 if self._dispatch == "stealing" else 1)
+        shard_count = max(1, min(self._workers * multiplier, len(trajectories)))
+        shards = dispatch_shards(trajectories, shard_count, self._dispatch)
         if len(shards) == 1:
             # A single shard gains nothing from the pool; run it inline.
             shard_results = [
@@ -319,7 +442,28 @@ class ProcessPoolExecutor(Executor):
             ]
         else:
             pool = self._ensure_pool(plan.geo_context())
-            shard_results = list(pool.map(_annotate_shard, shards))
+            try:
+                if self._dispatch == "stealing":
+                    # Largest-first submission (LPT): the futures pool's shared
+                    # call queue lets whichever worker goes idle steal the next
+                    # pending shard, so a skewed shard cannot serialise the
+                    # tail.  Completion order is irrelevant — the merge below
+                    # reorders by input position.
+                    ordered = sorted(
+                        shards, key=lambda shard: (-_shard_load(shard), shard[0])
+                    )
+                    futures = [pool.submit(_annotate_shard, shard) for shard in ordered]
+                    shard_results = [
+                        future.result() for future in as_completed(futures)
+                    ]
+                else:
+                    shard_results = list(pool.map(_annotate_shard, shards))
+            except BrokenExecutor:
+                # A crashed worker poisons the pool; tear everything down now
+                # (stops siblings, unlinks the shared segment) so a retry can
+                # re-prime and nothing leaks even if the caller gives up.
+                self.close()
+                raise
         merged = merge_shard_results(plan, len(trajectories), shard_results)
         _count_batch(plan, self.kind, trajectories, merged)
         return merged
@@ -329,20 +473,28 @@ class ProcessPoolExecutor(Executor):
             if self._pool_context is context:
                 return self._pool
             self.close()  # a pool primed with another snapshot is stale
-        # Prefer fork only where it is the safe platform default (Linux);
-        # macOS forks can crash inside frameworks the parent already loaded.
-        if sys.platform == "linux":
-            mp_context = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - non-Linux platforms
-            mp_context = multiprocessing.get_context()
-        if mp_context.get_start_method() == "fork":
+        mp_context = _pool_mp_context()
+        start_method = mp_context.get_start_method()
+        # "auto" shares via shared memory exactly when the start method would
+        # otherwise pickle the snapshot per worker; under fork the blocks are
+        # already shared as copy-on-write pages, so segments add nothing.
+        use_shared = self._shared_memory == "on" or (
+            self._shared_memory == "auto" and start_method != "fork"
+        )
+        initargs: Tuple[object, ...]
+        if use_shared:
+            from repro.parallel.shared import share_context  # deferred: import cycle
+
+            self._shared = share_context(context)
+            initargs = (None, None, self._shared.spec)
+        elif start_method == "fork":
             # Children inherit the snapshot as copy-on-write memory; the
             # registry entry lives until close() so late worker forks see it.
             self._fork_token = next(_FORK_TOKENS)
             _FORK_CONTEXTS[self._fork_token] = context
-            initargs: Tuple[Optional[int], Optional[GeoContext]] = (self._fork_token, None)
+            initargs = (self._fork_token, None, None)
         else:  # pragma: no cover - non-POSIX platforms
-            initargs = (None, context)
+            initargs = (None, context, None)
         self._pool = _FuturesProcessPool(
             max_workers=self._workers,
             mp_context=mp_context,
@@ -351,9 +503,10 @@ class ProcessPoolExecutor(Executor):
         )
         self._pool_context = context
         # If the executor is garbage collected without close(), stop the
-        # worker processes and drop the registry entry instead of leaking both.
+        # worker processes and release the registry entry and shared segment
+        # instead of leaking them; finalize also runs at interpreter exit.
         self._pool_finalizer = weakref.finalize(
-            self, _release_pool_resources, self._pool, self._fork_token
+            self, _release_pool_resources, self._pool, self._fork_token, self._shared
         )
         return self._pool
 

@@ -45,6 +45,7 @@ tie-break behaviour.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -257,6 +258,31 @@ class FlatSpatialIndex:
     def level_count(self) -> int:
         """Number of compiled tree levels (0 for columnar grid layouts)."""
         return len(self._levels)
+
+    def array_blocks(self) -> "OrderedDict[str, np.ndarray]":
+        """Every contiguous numpy block of the compiled index, by stable name.
+
+        The enumeration :mod:`repro.parallel.shared` exports into
+        ``multiprocessing.shared_memory``: per-level bbox and child-slice
+        columns, the entry-box columns and (for segment geometry) the endpoint
+        columns.  Names are deterministic for a given compilation, so a
+        worker-side attach maps blocks back by name; payload objects are *not*
+        included — they ride the ordinary pickle.
+        """
+        blocks: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for depth, level in enumerate(self._levels):
+            for attr in _Level.__slots__:
+                blocks[f"levels[{depth}].{attr}"] = getattr(level, attr)
+        blocks["entries.min_xs"] = self._min_xs
+        blocks["entries.min_ys"] = self._min_ys
+        blocks["entries.max_xs"] = self._max_xs
+        blocks["entries.max_ys"] = self._max_ys
+        if self._segments is not None:
+            for name, column in zip(
+                ("start_xs", "start_ys", "end_xs", "end_ys"), self._segments
+            ):
+                blocks[f"segments.{name}"] = column
+        return blocks
 
     # ---------------------------------------------------------- batch queries
     def query_boxes_batch(

@@ -2,17 +2,22 @@
 
 SeMiTri annotates each moving object's trajectories independently, which
 makes per-object sharding the natural scale-out axis.  This package supplies
-the three pieces that turn the single-core batch pipeline into a multi-core
+the pieces that turn the single-core batch pipeline into a multi-core
 runtime without changing a single output byte:
 
 * :class:`~repro.parallel.context.GeoContext` — an immutable snapshot of the
   annotation sources, configuration and prebuilt layer annotators (frozen
-  R-trees, POI grid, HMM), built once and shared with workers via ``fork`` or
-  pickled once per worker;
+  R-trees, POI grid, HMM), built once and shared with workers via ``fork``
+  copy-on-write, attached zero-copy through ``multiprocessing.shared_memory``
+  or pickled once per worker;
+* :mod:`~repro.parallel.shared` — :class:`SharedArrayBundle` and the
+  :func:`share_context`/:func:`attach_context` pair that move the snapshot's
+  contiguous numpy blocks (flat-index levels, CSR columns, coordinate
+  arrays) into one shared segment workers map read-only;
 * :class:`~repro.parallel.runner.ParallelAnnotationRunner` — partitions a
-  trajectory batch by object id into balanced shards, annotates them on a
-  process pool (or an in-process serial executor) and merges the results back
-  into input order;
+  trajectory batch by object id (size-aware bin-packing or work-stealing
+  dispatch), annotates the shards on a process pool (or an in-process serial
+  executor) and merges the results back into input order;
 * :class:`~repro.parallel.store_writer.ShardedStoreWriter` — buffers
   per-shard store rows and commits the merged batch in one transaction with
   single-writer row ordering.
@@ -24,21 +29,37 @@ tested against.
 from repro.parallel.canonical import (
     canonical_annotation,
     canonical_bytes,
+    canonical_digest,
     canonical_episode,
     canonical_result,
     canonical_structured,
 )
 from repro.parallel.context import GeoContext
 from repro.parallel.runner import ParallelAnnotationRunner
+from repro.parallel.shared import (
+    SharedArrayBundle,
+    SharedContextSpec,
+    SharedGeoContext,
+    SharedManifest,
+    attach_context,
+    share_context,
+)
 from repro.parallel.store_writer import ShardedStoreWriter
 
 __all__ = [
     "GeoContext",
     "ParallelAnnotationRunner",
+    "SharedArrayBundle",
+    "SharedContextSpec",
+    "SharedGeoContext",
+    "SharedManifest",
     "ShardedStoreWriter",
+    "attach_context",
     "canonical_annotation",
     "canonical_bytes",
+    "canonical_digest",
     "canonical_episode",
     "canonical_result",
     "canonical_structured",
+    "share_context",
 ]

@@ -12,6 +12,7 @@ exactly what the parity tests and the scaling benchmark assert.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -80,3 +81,13 @@ def canonical_bytes(results: Sequence[PipelineResult]) -> bytes:
     """Canonical JSON bytes for an ordered sequence of pipeline results."""
     payload = [canonical_result(result) for result in results]
     return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def canonical_digest(results: Sequence[PipelineResult]) -> str:
+    """SHA-256 hex digest of :func:`canonical_bytes`.
+
+    The compact form of the byte-equality contract, suitable for recording in
+    benchmark sidecars and comparing across runs without shipping the full
+    canonical document.
+    """
+    return hashlib.sha256(canonical_bytes(results)).hexdigest()

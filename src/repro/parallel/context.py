@@ -16,7 +16,10 @@ into a real scale-out axis.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import List, Optional
+
+import numpy as np
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import AnnotationSources, LayerAnnotators
@@ -83,6 +86,39 @@ class GeoContext:
     def available_layers(self) -> List[str]:
         """Names of the annotation layers the snapshot can run."""
         return self._sources.available_layers()
+
+    def precompiled_blocks(self) -> "OrderedDict[str, np.ndarray]":
+        """The snapshot's contiguous numpy blocks, by stable human-readable name.
+
+        Exactly the arrays ``__init__`` pre-compiles for worker sharing: the
+        flat-index level/entry/segment columns of every source plus the
+        columnar source coordinate arrays.  :func:`repro.parallel.shared.share_context`
+        uses the names for its shared-memory manifest (arrays reached only
+        through other attributes still get exported, under generated names);
+        tests use them to assert the worker-side views are genuinely
+        zero-copy.
+        """
+        blocks: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        sources = self._sources
+        if self._config.compute.backend == "numpy":
+            if sources.road_network is not None:
+                arrays = sources.road_network.segment_arrays()
+                for attr in ("start_xs", "start_ys", "end_xs", "end_ys"):
+                    blocks[f"road_network.arrays.{attr}"] = getattr(arrays, attr)
+            if sources.pois is not None:
+                poi_arrays = sources.pois.coordinate_arrays()
+                blocks["pois.arrays.xs"] = poi_arrays.xs
+                blocks["pois.arrays.ys"] = poi_arrays.ys
+        if self._config.compute.resolved_index_backend == "flat":
+            for prefix, source in (
+                ("regions", sources.regions),
+                ("road_network", sources.road_network),
+                ("pois", sources.pois),
+            ):
+                if source is not None:
+                    for key, array in source.flat_index().array_blocks().items():
+                        blocks[f"{prefix}.flat.{key}"] = array
+        return blocks
 
     # -------------------------------------------------------------- factories
     def windowed_matcher(self) -> Optional[WindowedMapMatcher]:

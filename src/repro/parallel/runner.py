@@ -34,7 +34,8 @@ from repro.engine.executors import (
     ProcessPoolExecutor,
     SequentialExecutor,
     Shard,
-    shard_by_object,
+    dispatch_shards,
+    shard_by_object,  # noqa: F401  (re-exported for white-box tests)
 )
 from repro.engine.plan import Plan
 from repro.parallel.context import GeoContext
@@ -48,14 +49,19 @@ class ParallelAnnotationRunner:
     ----------
     config:
         Pipeline configuration; ``config.parallel`` supplies the defaults for
-        ``workers`` and ``executor``.
+        ``workers``, ``executor``, ``dispatch`` and ``shared_memory``.
     workers:
-        Worker count override; 1 with the default executor runs in-process.
+        Worker count override; 1 with the default executor runs in-process and
+        0 resolves to the affinity-aware effective core count.
     executor:
         ``"process"``, ``"serial"`` or ``"auto"`` (process when more than one
         worker is requested).
     store:
         Optional semantic trajectory store for ``persist=True`` calls.
+    dispatch:
+        Shard dispatch override: ``"static"``, ``"balanced"`` or ``"stealing"``.
+    shared_memory:
+        Snapshot transport override: ``"auto"``, ``"on"`` or ``"off"``.
     """
 
     def __init__(
@@ -64,17 +70,23 @@ class ParallelAnnotationRunner:
         workers: Optional[int] = None,
         executor: Optional[str] = None,
         store: Optional[SemanticTrajectoryStore] = None,
+        dispatch: Optional[str] = None,
+        shared_memory: Optional[str] = None,
     ):
         parallel = config.parallel
-        if workers is not None or executor is not None:
+        if (workers, executor, dispatch, shared_memory) != (None, None, None, None):
             # Re-validate overrides through the config dataclass itself.
             parallel = ParallelConfig(
                 workers=parallel.workers if workers is None else int(workers),
                 executor=parallel.executor if executor is None else executor,
                 shards_per_worker=parallel.shards_per_worker,
+                dispatch=parallel.dispatch if dispatch is None else dispatch,
+                shared_memory=parallel.shared_memory
+                if shared_memory is None
+                else shared_memory,
             )
         self._config = config
-        self._workers = parallel.workers
+        self._workers = parallel.resolved_workers
         self._executor_kind = (
             ("process" if self._workers > 1 else "serial")
             if parallel.executor == "auto"
@@ -82,10 +94,15 @@ class ParallelAnnotationRunner:
         )
         self._store = store
         self._shards_per_worker = parallel.shards_per_worker
+        self._dispatch = parallel.dispatch
+        self._shared_memory = parallel.shared_memory
         self._engine_executor: Union[ProcessPoolExecutor, SequentialExecutor]
         if self._executor_kind == "process":
             self._engine_executor = ProcessPoolExecutor(
-                workers=self._workers, shards_per_worker=self._shards_per_worker
+                workers=self._workers,
+                shards_per_worker=self._shards_per_worker,
+                dispatch=self._dispatch,
+                shared_memory=self._shared_memory,
             )
         else:
             # Deferred write-back keeps the serial executor's store commits
@@ -105,6 +122,23 @@ class ParallelAnnotationRunner:
     def executor_kind(self) -> str:
         """The resolved executor: ``"process"`` or ``"serial"``."""
         return self._executor_kind
+
+    @property
+    def dispatch(self) -> str:
+        """The shard dispatch mode: ``"static"``, ``"balanced"`` or ``"stealing"``."""
+        return self._dispatch
+
+    @property
+    def shared_memory(self) -> str:
+        """The snapshot transport mode: ``"auto"``, ``"on"`` or ``"off"``."""
+        return self._shared_memory
+
+    @property
+    def shared_segment_name(self) -> Optional[str]:
+        """Name of the live shared-memory segment, when the pool uses one."""
+        if isinstance(self._engine_executor, ProcessPoolExecutor):
+            return self._engine_executor.shared_segment_name
+        return None
 
     @property
     def store(self) -> Optional[SemanticTrajectoryStore]:
@@ -199,4 +233,4 @@ class ParallelAnnotationRunner:
     def _shard(self, trajectories: Sequence[RawTrajectory]) -> List[Shard]:
         """Deterministic per-object sharding (delegates to the engine)."""
         shard_count = max(1, min(self._workers * self._shards_per_worker, len(trajectories)))
-        return shard_by_object(trajectories, shard_count)
+        return dispatch_shards(trajectories, shard_count, self._dispatch)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.config import (
     CleaningConfig,
+    ParallelConfig,
     MapMatchingConfig,
     PipelineConfig,
     PointAnnotationConfig,
@@ -122,3 +123,30 @@ class TestPipelineConfig:
         config = PipelineConfig()
         with pytest.raises(AttributeError):
             config.stop_move = StopMoveConfig()  # type: ignore[misc]
+
+
+class TestParallelConfig:
+    def test_defaults_are_valid(self):
+        config = ParallelConfig()
+        assert config.dispatch == "balanced"
+        assert config.shared_memory == "auto"
+        assert config.resolved_workers >= 1
+
+    def test_zero_workers_resolve_to_effective_cores(self):
+        from repro.core.cpu import effective_cpu_count
+
+        config = ParallelConfig(workers=0)
+        assert config.resolved_workers == effective_cpu_count()
+        assert ParallelConfig(workers=3).resolved_workers == 3
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(workers=-1)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(shards_per_worker=0)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(executor="threads")
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(dispatch="greedy")
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(shared_memory="maybe")
