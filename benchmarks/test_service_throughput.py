@@ -1,0 +1,166 @@
+"""Sustained multi-stream ingest throughput of the annotation service.
+
+Replays the car benchmark dataset — every car a concurrent emitter, raw
+per-object point streams — through the asyncio :class:`AnnotationService` at
+full speed (no pacing) for one and for several shards, and reports:
+
+* sustained events/second from first enqueue to drain completion (including
+  the drain-time close-out of every open session);
+* p50/p99 enqueue-to-absorbed latency from the service's own histogram;
+* backpressure waits and (asserted-zero) dropped events;
+* canonical-bytes parity of the drained output against the sequential
+  pipeline on the same streams — the benchmark refuses to publish a number
+  for output it cannot prove correct.
+
+Shards run on threads, so like the parallel-scaling benchmark the multi-shard
+number is recorded honestly rather than gated on a 1-core container: the
+regression-gated metric is the single-shard events/s (``events_per_s_1shard``),
+which tracks real per-event cost; the multi-shard series lands in ``data``
+with the effective core count beside it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Dict, List
+
+from benchmarks.conftest import save_result
+from repro.analytics.reporting import render_table
+from repro.core import PipelineConfig, SeMiTriPipeline
+from repro.core.config import StreamingConfig, TrajectoryIdentificationConfig
+from repro.core.cpu import effective_cpu_count
+from repro.core.points import SpatioTemporalPoint
+from repro.parallel import GeoContext, canonical_bytes
+from repro.service import AnnotationService
+
+SHARD_COUNTS = (1, 2, 4)
+GATED_SHARDS = 1
+
+
+def _service_config(base: PipelineConfig, shards: int) -> PipelineConfig:
+    return dataclasses.replace(
+        base,
+        identification=TrajectoryIdentificationConfig(
+            max_time_gap=1e15, max_distance_gap=1e15, min_points=1
+        ),
+        # Cleaning stays ON: the sequential parity reference goes through
+        # ``ingest_stream``, which always cleans, so the service must too.
+        streaming=StreamingConfig(micro_batch_size=64, apply_cleaning=True),
+    ).with_overrides(
+        {"service.shards": shards, "service.queue_depth": 128, "service.max_batch": 64}
+    )
+
+
+def _object_streams(trajectories) -> Dict[str, List[SpatioTemporalPoint]]:
+    grouped: Dict[str, list] = {}
+    for trajectory in trajectories:
+        grouped.setdefault(trajectory.object_id, []).append(trajectory)
+    return {
+        object_id: [
+            point
+            for trajectory in sorted(parts, key=lambda t: t.points[0].t)
+            for point in trajectory.points
+        ]
+        for object_id, parts in sorted(grouped.items())
+    }
+
+
+async def _replay(service: AnnotationService, streams: Dict[str, List[SpatioTemporalPoint]]):
+    async def emitter(object_id: str, points: List[SpatioTemporalPoint]) -> None:
+        for point in points:
+            await service.ingest(object_id, point)
+        await service.close_object(object_id)
+
+    async with service:
+        await asyncio.gather(
+            *(emitter(object_id, points) for object_id, points in streams.items())
+        )
+        await service.drain()
+
+
+def test_service_throughput(benchmark, car_dataset, annotation_sources):
+    streams = _object_streams(car_dataset.trajectories)
+    total_events = sum(len(points) for points in streams.values())
+    measured: Dict[int, Dict[str, float]] = {}
+    parity_results = {}
+
+    def run_all():
+        for shards in SHARD_COUNTS:
+            config = _service_config(PipelineConfig.for_vehicles(), shards)
+            context = GeoContext.build(annotation_sources, config)
+            service = AnnotationService(context)
+            started = time.perf_counter()
+            asyncio.run(_replay(service, streams))
+            elapsed = time.perf_counter() - started
+            assert service.dropped_events == 0 and service.stats.errors == 0
+            latency = service.metrics.ingest_latency
+            measured[shards] = {
+                "elapsed_s": elapsed,
+                "events_per_s": total_events / elapsed,
+                "p50_s": latency.percentile(50.0),
+                "p99_s": latency.percentile(99.0),
+                "backpressure_waits": float(service.stats.backpressure_waits),
+                "results": float(len(service.results)),
+            }
+            parity_results[shards] = service.results
+        return measured
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Publish nothing we cannot prove: the drained output must be canonically
+    # identical to the sequential pipeline on the very same streams.
+    config = _service_config(PipelineConfig.for_vehicles(), 1)
+    context = GeoContext.build(annotation_sources, config)
+    pipeline = SeMiTriPipeline(config)
+    sequential = []
+    for object_id, points in streams.items():
+        raw = pipeline.ingest_stream(points, object_id=object_id)
+        sequential.extend(
+            pipeline.annotate_many(raw, annotation_sources, annotators=context.annotators)
+        )
+    by_sequential = {r.trajectory.trajectory_id: r for r in sequential}
+    for shards, results in parity_results.items():
+        by_service = {r.trajectory.trajectory_id: r for r in results}
+        assert set(by_service) == set(by_sequential), shards
+        for trajectory_id, expected in by_sequential.items():
+            assert canonical_bytes([by_service[trajectory_id]]) == canonical_bytes([expected])
+
+    rows = [
+        [
+            f"{shards} shard{'s' if shards > 1 else ''}",
+            total_events,
+            f"{values['events_per_s']:,.0f}",
+            f"{values['p50_s'] * 1e3:.2f}",
+            f"{values['p99_s'] * 1e3:.2f}",
+            int(values["backpressure_waits"]),
+            int(values["results"]),
+        ]
+        for shards, values in measured.items()
+    ]
+    text = render_table(
+        ["shards", "events", "events/s", "p50 ms", "p99 ms", "bp waits", "results"],
+        rows,
+        title=(
+            f"Service ingest throughput — {len(streams)} emitters, "
+            f"{effective_cpu_count()} effective cores (output parity asserted)"
+        ),
+    )
+    save_result(
+        "service_throughput",
+        text,
+        data={
+            "emitters": len(streams),
+            "total_events": total_events,
+            "effective_cores": effective_cpu_count(),
+            "gated_shards": GATED_SHARDS,
+            "per_shards": {
+                str(shards): {key: value for key, value in values.items()}
+                for shards, values in measured.items()
+            },
+        },
+        metrics={
+            f"events_per_s_{GATED_SHARDS}shard": measured[GATED_SHARDS]["events_per_s"],
+        },
+    )

@@ -21,7 +21,6 @@ Run it with::
 
 from __future__ import annotations
 
-import os
 import sys
 import time
 from pathlib import Path
@@ -29,6 +28,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import AnnotationSources, PipelineConfig
+from repro.core.cpu import effective_cpu_count
 from repro.core.pipeline import SeMiTriPipeline
 from repro.datasets import PrivateCarSimulator, SyntheticWorld, WorldConfig
 from repro.parallel import GeoContext, ParallelAnnotationRunner, canonical_bytes
@@ -89,7 +89,7 @@ def main() -> None:
     print(
         f"sequential {sequential_s * 1e3:6.0f} ms | serial executor {serial_s * 1e3:6.0f} ms | "
         f"process pool x{WORKERS} {parallel_s * 1e3:6.0f} ms "
-        f"({os.cpu_count()} cores visible)"
+        f"({effective_cpu_count()} cores usable)"
     )
 
     # 7. Per-trajectory summary, in input order as always.

@@ -22,7 +22,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import AnnotationSources, PipelineConfig, SeMiTriPipeline
+import repro
+from repro import AnnotationSources, PipelineConfig
 from repro.datasets import PersonSimulator, SyntheticWorld, WorldConfig
 from repro.regions.landuse import label_of
 
@@ -78,7 +79,7 @@ def main() -> None:
     simulator = PersonSimulator(world, user_count=4, days_per_user=1, seed=31)
     dataset = simulator.generate()
 
-    pipeline = SeMiTriPipeline(PipelineConfig.for_people())
+    pipeline = repro.open_pipeline(PipelineConfig.for_people())
     sources = AnnotationSources(
         regions=world.region_source(),
         road_network=world.road_network(),

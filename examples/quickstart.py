@@ -17,7 +17,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import AnnotationSources, PipelineConfig, SeMiTriPipeline
+import repro
+from repro import AnnotationSources, PipelineConfig
 from repro.datasets import PersonSimulator, SyntheticWorld, WorldConfig
 
 
@@ -45,7 +46,7 @@ def main() -> None:
     )
 
     # 3. Run the SeMiTri pipeline.
-    pipeline = SeMiTriPipeline(PipelineConfig.for_people())
+    pipeline = repro.open_pipeline(PipelineConfig.for_people())
     result = pipeline.annotate(trajectory, sources)
 
     # 4. Inspect the structured semantic trajectory.

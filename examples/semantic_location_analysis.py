@@ -28,7 +28,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import AnnotationSources, PipelineConfig, SeMiTriPipeline
+import repro
+from repro import AnnotationSources, PipelineConfig
 from repro.analytics.patterns import (
     category_sequences,
     frequent_sequences,
@@ -49,7 +50,7 @@ def main() -> None:
         pois=world.poi_source(),
     )
     dataset = PersonSimulator(world, user_count=2, days_per_user=4, seed=31).generate()
-    pipeline = SeMiTriPipeline(PipelineConfig.for_people())
+    pipeline = repro.open_pipeline(PipelineConfig.for_people())
 
     output_dir = Path("results") / "semantic_location_analysis"
     output_dir.mkdir(parents=True, exist_ok=True)

@@ -20,11 +20,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+import repro
 from repro import AnnotationSources, PipelineConfig
 from repro.core.pipeline import PipelineResult
 from repro.datasets import PersonSimulator, SyntheticWorld, WorldConfig
 from repro.store.store import SemanticTrajectoryStore
-from repro.streaming import StreamingAnnotationEngine
 
 
 def describe(result: PipelineResult) -> None:
@@ -63,7 +63,7 @@ def main() -> None:
     # 3. Stream everything through the engine; gap-based close-out seals each
     #    user's day automatically when the overnight gap appears in the feed.
     store = SemanticTrajectoryStore()
-    engine = StreamingAnnotationEngine(
+    engine = repro.stream(
         sources,
         config=PipelineConfig.for_people(),
         store=store,

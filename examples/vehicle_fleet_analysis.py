@@ -18,7 +18,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import AnnotationSources, PipelineConfig, SeMiTriPipeline
+import repro
+from repro import AnnotationSources, PipelineConfig
+from repro.core.pipeline import SeMiTriPipeline
 from repro.analytics.compression import compression_report
 from repro.analytics.distributions import cumulative_share, normalize_counts, top_k_categories
 from repro.analytics.reporting import render_distribution_table
@@ -42,7 +44,7 @@ def main() -> None:
     # The `with store:` transaction scope commits the whole fleet atomically
     # on success and rolls everything back if any stage raises.
     store = SemanticTrajectoryStore()
-    pipeline = SeMiTriPipeline(PipelineConfig.for_vehicles(), store=store)
+    pipeline = repro.open_pipeline(PipelineConfig.for_vehicles(), store=store)
     sources = AnnotationSources(regions=world.region_source(), road_network=world.road_network())
     with store:
         results = pipeline.annotate_many(fleet.trajectories, sources, persist=True)

@@ -8,21 +8,33 @@ transportation-mode inference, points via an HMM over POI categories), the
 semantic trajectory store and analytics, and deterministic synthetic datasets
 standing in for the paper's proprietary GPS and geographic sources.
 
-Typical usage::
+The public API is the handful of functions in :mod:`repro.api`, re-exported
+here::
 
-    from repro import SeMiTriPipeline, AnnotationSources, PipelineConfig
+    import repro
+    from repro import AnnotationSources, PipelineConfig
     from repro.datasets import SyntheticWorld, TaxiFleetSimulator
 
     world = SyntheticWorld()
     taxis = TaxiFleetSimulator(world).generate()
-    pipeline = SeMiTriPipeline(PipelineConfig.for_vehicles())
     sources = AnnotationSources(
         regions=world.region_source(),
         road_network=world.road_network(),
         pois=world.poi_source(),
     )
-    results = pipeline.annotate_many(taxis.trajectories, sources)
+    results = repro.annotate_many(
+        taxis.trajectories, sources, config=PipelineConfig.for_vehicles()
+    )
+
+plus :func:`repro.stream` for online feeds, :func:`repro.serve` for the
+asyncio multi-stream ingestion service and :func:`repro.compile_plan` for
+custom stage plans.  The pre-PR 8 class entry points (``repro.SeMiTriPipeline``,
+``repro.StreamingAnnotationEngine``) still resolve but emit a
+``DeprecationWarning``; deep imports (``repro.core``, ``repro.streaming``)
+remain fully supported.
 """
+
+import warnings
 
 from repro.core import (
     Annotation,
@@ -39,7 +51,6 @@ from repro.core import (
     RawTrajectory,
     RegionAnnotationConfig,
     RegionOfInterest,
-    SeMiTriPipeline,
     SemanticPlace,
     SemanticTrajectory,
     SpatioTemporalPoint,
@@ -47,9 +58,23 @@ from repro.core import (
     StreamingConfig,
     StructuredSemanticTrajectory,
 )
-from repro.streaming import StreamingAnnotationEngine
 
-__version__ = "1.0.0"
+# The streaming package must be imported before anything touches
+# ``repro.engine``: engine stages import ``repro.streaming.matching``, and
+# entering that cycle through ``repro.streaming`` (rather than through
+# ``repro.engine``) is the order that resolves.  Priming it here covers every
+# later import, eager or lazy.
+import repro.streaming  # noqa: E402,F401  (import-cycle priming)
+from repro.api import (  # noqa: E402
+    annotate,
+    annotate_many,
+    compile_plan,
+    open_pipeline,
+    serve,
+    stream,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "Annotation",
@@ -66,13 +91,53 @@ __all__ = [
     "RawTrajectory",
     "RegionAnnotationConfig",
     "RegionOfInterest",
-    "SeMiTriPipeline",
     "SemanticPlace",
     "SemanticTrajectory",
     "SpatioTemporalPoint",
     "StopMoveConfig",
-    "StreamingAnnotationEngine",
     "StreamingConfig",
     "StructuredSemanticTrajectory",
     "__version__",
+    "annotate",
+    "annotate_many",
+    "compile_plan",
+    "open_pipeline",
+    "serve",
+    "stream",
 ]
+
+# Legacy top-level entry points, kept as lazy deprecated aliases: resolving
+# them still returns the real class (so existing code keeps working), but
+# with a one-line migration hint.  Deep imports of the same classes
+# (``repro.core.SeMiTriPipeline``, ``repro.streaming.StreamingAnnotationEngine``)
+# are NOT deprecated — they are the supported advanced surface.
+_DEPRECATED = {
+    "SeMiTriPipeline": (
+        "repro.core.pipeline",
+        "SeMiTriPipeline",
+        "use repro.open_pipeline() / repro.annotate_many() instead of repro.SeMiTriPipeline",
+    ),
+    "StreamingAnnotationEngine": (
+        "repro.streaming.engine",
+        "StreamingAnnotationEngine",
+        "use repro.stream() instead of repro.StreamingAnnotationEngine",
+    ),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        module_name, attribute, hint = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.{name} is deprecated; {hint}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_DEPRECATED))

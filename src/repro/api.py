@@ -1,0 +1,260 @@
+"""The single public API surface of the SeMiTri reproduction.
+
+Every supported way of running the pipeline is a function in this module —
+batch, parallel batch, streaming, serving and plan compilation all start
+here, and everything accepts configuration in one of three equivalent forms
+(a :class:`~repro.core.config.PipelineConfig`, a plain ``dict`` routed
+through :meth:`PipelineConfig.from_dict`, or ``None`` for defaults):
+
+==================  ========================================================
+entry point         what it gives you
+==================  ========================================================
+:func:`open_pipeline`  a :class:`SeMiTriPipeline` for batch annotation
+:func:`annotate`       one trajectory, annotated (one-shot convenience)
+:func:`annotate_many`  a batch, sequential or multi-process via ``workers``
+:func:`stream`         a :class:`StreamingAnnotationEngine` for online feeds
+:func:`serve`          an :class:`AnnotationService` multiplexing many feeds
+:func:`compile_plan`   the stage-graph :class:`Plan` behind all of the above
+==================  ========================================================
+
+The pre-PR 8 entry points (``repro.SeMiTriPipeline``,
+``repro.StreamingAnnotationEngine``) still work but are deprecated at the
+top level; deep imports (``repro.core``, ``repro.streaming``) remain
+supported for library-internal and advanced use.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Mapping, Optional, Sequence, Union
+
+from repro.core.config import PipelineConfig
+from repro.core.episodes import Episode
+from repro.core.pipeline import (
+    AnnotationSources,
+    LayerAnnotators,
+    PipelineResult,
+    SeMiTriPipeline,
+)
+from repro.core.points import RawTrajectory
+
+if TYPE_CHECKING:  # deferred: the engine/streaming/parallel modules form an
+    # import cycle with the package root; functions import them lazily.
+    from repro.engine.plan import Plan
+    from repro.parallel.context import GeoContext
+    from repro.service.service import AnnotationService
+    from repro.store.store import SemanticTrajectoryStore
+    from repro.streaming.engine import StreamingAnnotationEngine
+
+__all__ = [
+    "annotate",
+    "annotate_many",
+    "compile_plan",
+    "open_pipeline",
+    "serve",
+    "stream",
+]
+
+#: Config in any accepted spelling: a built object, a ``to_dict``-shaped
+#: mapping, or ``None`` for defaults.
+ConfigLike = Union[PipelineConfig, Mapping[str, object], None]
+
+
+def _resolve_config(
+    config: ConfigLike, overrides: Optional[Mapping[str, object]] = None
+) -> PipelineConfig:
+    """Build a validated :class:`PipelineConfig` from any accepted spelling."""
+    if isinstance(config, PipelineConfig):
+        return config.with_overrides(overrides) if overrides else config
+    return PipelineConfig.from_dict(config, overrides=overrides)
+
+
+def open_pipeline(
+    config: ConfigLike = None,
+    store: Optional[SemanticTrajectoryStore] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> SeMiTriPipeline:
+    """A batch annotation pipeline (the paper's offline mode).
+
+    ``config`` may be a :class:`PipelineConfig`, a ``dict`` in
+    :meth:`PipelineConfig.to_dict` shape, or ``None``; dotted ``overrides``
+    (e.g. ``{"stop_move.velocity_threshold": 1.2}``) apply on top either way.
+    """
+    return SeMiTriPipeline(_resolve_config(config, overrides), store=store)
+
+
+def annotate(
+    trajectory: RawTrajectory,
+    sources: AnnotationSources,
+    config: ConfigLike = None,
+    store: Optional[SemanticTrajectoryStore] = None,
+    persist: bool = False,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> PipelineResult:
+    """Annotate one raw trajectory (one-shot convenience over a pipeline)."""
+    return open_pipeline(config, store=store, overrides=overrides).annotate(
+        trajectory, sources, persist=persist
+    )
+
+
+def annotate_many(
+    trajectories: Sequence[RawTrajectory],
+    sources: Optional[AnnotationSources] = None,
+    config: ConfigLike = None,
+    context: Optional[GeoContext] = None,
+    workers: Optional[int] = None,
+    store: Optional[SemanticTrajectoryStore] = None,
+    persist: bool = False,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> List[PipelineResult]:
+    """Annotate a batch of trajectories, sequentially or across processes.
+
+    With ``workers`` unset (or 1, the config default) this is the plain
+    sequential batch mode.  Any other value routes through the
+    :class:`~repro.parallel.runner.ParallelAnnotationRunner` — ``workers=0``
+    auto-detects the effective core count, ``workers>1`` shards by moving
+    object across that many processes — with results (and persisted rows)
+    byte-identical to the sequential run.  A prebuilt ``context`` snapshot
+    may stand in for ``sources`` to skip index building.
+    """
+    resolved = _resolve_config(config, overrides)
+    if context is not None and config is None and overrides is None:
+        resolved = context.config
+    effective_workers = resolved.parallel.workers if workers is None else workers
+    if effective_workers == 1 and resolved.parallel.executor != "process":
+        if context is not None:
+            pipeline = SeMiTriPipeline(resolved, store=store)
+            return pipeline.annotate_many(
+                trajectories,
+                context.sources if sources is None else sources,
+                persist=persist,
+                annotators=context.annotators,
+            )
+        if sources is None:
+            raise _missing_sources()
+        return SeMiTriPipeline(resolved, store=store).annotate_many(
+            trajectories, sources, persist=persist
+        )
+    if sources is None and context is None:
+        raise _missing_sources()
+    from repro.parallel.runner import ParallelAnnotationRunner
+
+    with ParallelAnnotationRunner(resolved, workers=workers, store=store) as runner:
+        return runner.annotate_many(
+            trajectories, sources=sources, persist=persist, context=context
+        )
+
+
+def stream(
+    sources: Union[AnnotationSources, GeoContext],
+    config: ConfigLike = None,
+    store: Optional[SemanticTrajectoryStore] = None,
+    persist: bool = False,
+    on_result: Optional[Callable[[PipelineResult], None]] = None,
+    on_episode: Optional[Callable[[Episode], None]] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> StreamingAnnotationEngine:
+    """An online annotation engine for one ``(object_id, point)`` event feed.
+
+    ``sources`` may be raw sources or a prebuilt
+    :class:`~repro.parallel.context.GeoContext` snapshot; with a snapshot,
+    ``config``/``overrides`` must be unset (the snapshot's config rules).
+    """
+    from repro.parallel.context import GeoContext
+    from repro.streaming.engine import StreamingAnnotationEngine
+
+    resolved: Optional[PipelineConfig]
+    if isinstance(sources, GeoContext) and config is None and overrides is None:
+        resolved = None  # adopt the snapshot's config
+    else:
+        resolved = _resolve_config(config, overrides)
+    return StreamingAnnotationEngine(
+        sources,
+        config=resolved,
+        store=store,
+        persist=persist,
+        on_result=on_result,
+        on_episode=on_episode,
+    )
+
+
+def serve(
+    sources: Union[AnnotationSources, GeoContext],
+    config: ConfigLike = None,
+    store: Optional[SemanticTrajectoryStore] = None,
+    persist: bool = False,
+    on_result: Optional[Callable[[PipelineResult], None]] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> AnnotationService:
+    """The asyncio ingestion service multiplexing many concurrent feeds.
+
+    Returns an unstarted :class:`~repro.service.service.AnnotationService`;
+    run it with ``async with serve(...) as service:`` (or ``await
+    service.start()``).  ``config.service`` sizes shards, queue depths and
+    the session memory budget.  For emitters speaking HTTP, wrap the service
+    in an :class:`~repro.service.http.HttpIngestServer`.
+    """
+    from repro.parallel.context import GeoContext
+    from repro.service.service import AnnotationService
+
+    resolved: Optional[PipelineConfig]
+    if isinstance(sources, GeoContext) and config is None and overrides is None:
+        resolved = None
+    else:
+        resolved = _resolve_config(config, overrides)
+    return AnnotationService(
+        sources,
+        config=resolved,
+        store=store,
+        persist=persist,
+        on_result=on_result,
+    )
+
+
+def compile_plan(
+    sources: Optional[AnnotationSources] = None,
+    config: ConfigLike = None,
+    context: Optional[GeoContext] = None,
+    annotators: Optional[LayerAnnotators] = None,
+    store: Optional[SemanticTrajectoryStore] = None,
+    persist: bool = False,
+    layers: Optional[Sequence[str]] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> Plan:
+    """Compile the stage-graph plan every execution mode runs.
+
+    Use ``layers`` to restrict the annotation layers compiled in (e.g.
+    ``["regions"]`` for a region-only pass); pass a ``context`` snapshot to
+    reuse frozen indexes across plans.
+    """
+    from repro.engine.plan import Plan
+
+    if context is not None:
+        if config is None and overrides is None:
+            return Plan.from_context(context, store=store, persist=persist, layers=layers)
+        return Plan.compile(
+            sources=context.sources,
+            config=_resolve_config(config, overrides),
+            annotators=context.annotators,
+            store=store,
+            persist=persist,
+            layers=layers,
+        )
+    if sources is None and annotators is None:
+        raise _missing_sources()
+    return Plan.compile(
+        sources=sources,
+        config=_resolve_config(config, overrides),
+        annotators=annotators,
+        store=store,
+        persist=persist,
+        layers=layers,
+    )
+
+
+def _missing_sources() -> Exception:
+    from repro.core.errors import ConfigurationError
+
+    return ConfigurationError(
+        "annotation needs geographic data: pass sources=AnnotationSources(...) "
+        "or context=GeoContext.build(...)"
+    )

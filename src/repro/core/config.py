@@ -9,9 +9,10 @@ structure) live in one place and are easy to sweep in the benchmarks.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 
@@ -463,6 +464,63 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class ServiceConfig:
+    """Parameters of the asyncio ingestion service (:mod:`repro.service`).
+
+    The service multiplexes many concurrent object streams into sharded
+    :class:`~repro.engine.executors.MicroBatchExecutor` instances: events are
+    routed to a shard by consistent-hashing the object id, buffered in a
+    bounded per-shard queue (slow producers are *awaited*, never dropped) and
+    absorbed by the shard's streaming session loop.  These knobs bound the
+    service's memory (queues + open sessions) and control the shard fan-out.
+    """
+
+    shards: int = 0
+    """Number of executor shards; 0 means "auto": the affinity-aware core
+    count of :func:`repro.core.cpu.effective_cpu_count`."""
+
+    queue_depth: int = 256
+    """Capacity of each shard's bounded event queue; a full queue makes
+    ``ingest`` await (explicit backpressure) instead of dropping events."""
+
+    max_batch: int = 64
+    """Maximum events handed to a shard executor per processing step; larger
+    batches amortise the thread hand-off, smaller ones bound added latency."""
+
+    session_budget: int = 10_000
+    """Total open per-object sessions allowed across all shards (the memory
+    budget); each shard's LRU session capacity is the per-shard share, and
+    the least recently active sessions are gracefully closed through the gap
+    close-out path when a shard exceeds it."""
+
+    ring_replicas: int = 64
+    """Virtual nodes per shard on the consistent-hash ring; more replicas
+    smooth the key distribution at a small routing-table cost."""
+
+    def __post_init__(self) -> None:
+        if self.shards < 0:
+            raise ConfigurationError("shards must be at least 1 (or 0 for auto)")
+        if self.queue_depth < 1:
+            raise ConfigurationError("queue_depth must be at least 1")
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be at least 1")
+        if self.session_budget < 1:
+            raise ConfigurationError("session_budget must be at least 1")
+        if self.ring_replicas < 1:
+            raise ConfigurationError("ring_replicas must be at least 1")
+
+    @property
+    def resolved_shards(self) -> int:
+        """The effective shard count: ``shards``, or the affinity-aware core
+        count when ``shards`` is 0 (auto)."""
+        if self.shards == 0:
+            from repro.core.cpu import effective_cpu_count
+
+            return effective_cpu_count()
+        return self.shards
+
+
+@dataclass(frozen=True)
 class PipelineConfig:
     """Top-level configuration bundling every layer's parameters."""
 
@@ -479,6 +537,74 @@ class PipelineConfig:
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     compute: ComputeConfig = field(default_factory=ComputeConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig.from_env)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    # ------------------------------------------------------- dict construction
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-data rendering of every section (JSON-serialisable).
+
+        Round-trips through :meth:`from_dict`:
+        ``PipelineConfig.from_dict(config.to_dict()) == config``.
+        """
+        return {
+            section.name: dataclasses.asdict(getattr(self, section.name))
+            for section in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Optional[Mapping[str, Any]] = None,
+        overrides: Optional[Mapping[str, Any]] = None,
+        base: Optional["PipelineConfig"] = None,
+    ) -> "PipelineConfig":
+        """Build a validated configuration from nested plain data.
+
+        The **one** construction path the service, the benchmarks and the
+        environment knobs share: ``data`` is a (possibly partial) nested
+        mapping like :meth:`to_dict` produces, ``overrides`` maps dotted
+        keyword paths to values (``{"parallel.dispatch": "stealing"}``), and
+        ``base`` supplies the defaults for everything left unspecified.
+        Unknown sections or fields raise :class:`ConfigurationError`; every
+        value passes through the owning dataclass's own ``__post_init__``
+        validation, and string values (e.g. from ``SEMITRI_*`` environment
+        variables or CLI flags) are coerced to the field's type first.
+        """
+        if base is None:
+            base = cls()
+        sections = {section.name: section for section in dataclasses.fields(cls)}
+        merged: Dict[str, Dict[str, Any]] = {}
+        if data:
+            for section_name, section_data in data.items():
+                if section_name not in sections:
+                    raise ConfigurationError(
+                        f"unknown configuration section {section_name!r}; "
+                        f"expected one of {sorted(sections)}"
+                    )
+                if not isinstance(section_data, Mapping):
+                    raise ConfigurationError(
+                        f"section {section_name!r} must be a mapping of field values"
+                    )
+                merged[section_name] = dict(section_data)
+        if overrides:
+            for path, value in overrides.items():
+                section_name, _, field_name = path.partition(".")
+                if not field_name or section_name not in sections:
+                    raise ConfigurationError(
+                        f"override path {path!r} must look like '<section>.<field>' "
+                        f"with a section among {sorted(sections)}"
+                    )
+                merged.setdefault(section_name, {})[field_name] = value
+
+        built: Dict[str, Any] = {}
+        for section_name, values in merged.items():
+            current = getattr(base, section_name)
+            built[section_name] = _replace_section(current, values, section_name)
+        return dataclasses.replace(base, **built)
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "PipelineConfig":
+        """A copy of this configuration with dotted-path overrides applied."""
+        return type(self).from_dict(overrides=overrides, base=self)
 
     @classmethod
     def for_vehicles(cls) -> "PipelineConfig":
@@ -504,3 +630,51 @@ class PipelineConfig:
             ),
             map_matching=MapMatchingConfig(candidate_radius=60.0),
         )
+
+
+def _replace_section(current: Any, values: Mapping[str, Any], section_name: str) -> Any:
+    """One section dataclass with ``values`` applied (validated, type-coerced)."""
+    known = {section_field.name for section_field in dataclasses.fields(current)}
+    coerced: Dict[str, Any] = {}
+    for field_name, value in values.items():
+        if field_name not in known:
+            raise ConfigurationError(
+                f"unknown field {field_name!r} in section {section_name!r}; "
+                f"expected one of {sorted(known)}"
+            )
+        coerced[field_name] = _coerce_value(value, getattr(current, field_name))
+    return dataclasses.replace(current, **coerced)
+
+
+def _coerce_value(value: Any, current: Any) -> Any:
+    """Coerce a raw override value to the type of the field's current value.
+
+    Strings arriving from ``SEMITRI_*`` environment variables or CLI flags
+    become the int/float/bool the field holds; JSON lists become the tuples
+    frozen dataclasses store.  Values already of the right type pass through
+    untouched, and coercion failures surface as :class:`ConfigurationError`
+    naming the offending value rather than a bare ``ValueError``.
+    """
+    if isinstance(current, bool):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("1", "true", "on", "yes"):
+                return True
+            if lowered in ("0", "false", "off", "no"):
+                return False
+        raise ConfigurationError(f"cannot interpret {value!r} as a boolean")
+    if isinstance(current, int) and not isinstance(value, int):
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise ConfigurationError(f"cannot interpret {value!r} as an integer")
+    if isinstance(current, float) and not isinstance(value, float):
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise ConfigurationError(f"cannot interpret {value!r} as a number")
+    if isinstance(current, tuple) and isinstance(value, list):
+        return tuple(value)
+    return value

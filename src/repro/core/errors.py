@@ -32,3 +32,11 @@ class SourceError(SemitriError):
 
 class StoreError(SemitriError):
     """The semantic trajectory store rejected an operation."""
+
+
+class ServiceError(SemitriError):
+    """The ingestion service was used outside its lifecycle contract.
+
+    Examples: feeding events before :meth:`AnnotationService.start` or after
+    a drain began, or draining a service that was never started.
+    """

@@ -668,6 +668,19 @@ class MicroBatchExecutor(Executor):
             results.extend(self._close_session(session))
         return results
 
+    def evict_sessions(self, max_open: int) -> List[PipelineResult]:
+        """Gracefully close least-recently-active sessions beyond ``max_open``.
+
+        The memory-pressure hook the ingestion service drives: buffered
+        events are processed first (so eviction cannot reorder absorption),
+        then the LRU tail is sealed through the same close-out path a gap or
+        an explicit close takes, and any sealed trajectories are returned.
+        """
+        results = self._process_pending()
+        for session in self._sessions.evict_lru(max_open):
+            results.extend(self._close_session(session))
+        return results
+
     # ------------------------------------------------------------- processing
     def _process_pending(self) -> List[PipelineResult]:
         if not self._pending:

@@ -112,16 +112,39 @@ class Histogram:
         self.counts: List[int] = [0] * (len(self.buckets) + 1)
         self.sum: float = 0.0
         self.count: int = 0
+        self.max_value: float = 0.0
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         self.counts[bisect.bisect_left(self.buckets, value)] += 1
         self.sum += value
         self.count += 1
+        if value > self.max_value:
+            self.max_value = value
 
     def mean(self) -> float:
         """Mean of the observed values (0 when empty)."""
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, percentile: float) -> float:
+        """Bucket-resolution percentile estimate (0 when empty).
+
+        Returns the upper bound of the first bucket whose cumulative count
+        reaches the requested rank — an over-estimate by at most one bucket
+        width, which is the usual fixed-bucket trade-off; observations above
+        the last bound report the tracked maximum instead of ``+Inf``.
+        """
+        if not (0.0 <= percentile <= 100.0):
+            raise ConfigurationError("percentile must lie between 0 and 100")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil((percentile / 100.0) * self.count))
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return bound
+        return self.max_value
 
 
 def bucket_counts(samples: Sequence[float], buckets: Sequence[float]) -> List[int]:
@@ -399,6 +422,61 @@ class StreamingMetrics:
         )
         self.pending_events = registry.gauge(
             "streaming_pending_events", help="Events buffered in the current micro-batch"
+        )
+
+
+class ServiceMetrics:
+    """Ingestion-service signals: per-shard queues, throughput, latency.
+
+    One bundle per :class:`~repro.service.service.AnnotationService`; the
+    per-shard series are labelled by shard index (:meth:`shard`), service-wide
+    signals (backpressure waits, ingest latency) are unlabelled.  The ingest
+    latency histogram measures enqueue-to-absorbed time per event — queueing
+    plus the shard executor's processing share — which is the p50/p99 an
+    online emitter actually experiences.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.backpressure_waits = registry.counter(
+            "service_backpressure_waits_total",
+            help="ingest calls that awaited a full shard queue",
+        )
+        self.sessions_evicted = registry.counter(
+            "service_sessions_evicted_total",
+            help="Sessions gracefully closed under the service memory budget",
+        )
+        self.ingest_latency = registry.histogram(
+            "service_ingest_latency_seconds",
+            help="Enqueue-to-absorbed latency per event",
+        )
+        self._shards: Dict[int, "ShardMetrics"] = {}
+
+    def shard(self, index: int) -> "ShardMetrics":
+        """The per-shard bundle for one shard index (created on first use)."""
+        bundle = self._shards.get(index)
+        if bundle is None:
+            bundle = ShardMetrics(self.registry, index)
+            self._shards[index] = bundle
+        return bundle
+
+
+class ShardMetrics:
+    """One ingest shard's series: queue depth, events, results, sessions."""
+
+    def __init__(self, registry: MetricsRegistry, index: int):
+        shard = str(index)
+        self.queue_depth = registry.gauge(
+            "service_queue_depth", help="Events waiting in the shard queue", shard=shard
+        )
+        self.events = registry.counter(
+            "service_events_total", help="Events absorbed by the shard", shard=shard
+        )
+        self.results = registry.counter(
+            "service_results_total", help="Trajectories sealed by the shard", shard=shard
+        )
+        self.open_sessions = registry.gauge(
+            "service_open_sessions", help="Open per-object sessions in the shard", shard=shard
         )
 
 

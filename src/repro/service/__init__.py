@@ -1,0 +1,26 @@
+"""Annotation-as-a-service: asyncio ingest tier over the stage-graph engine.
+
+The package has three small parts:
+
+* :mod:`repro.service.routing` — consistent-hash placement of object ids on
+  shards (stable across processes, elastic under resharding);
+* :mod:`repro.service.service` — :class:`AnnotationService`, the asyncio
+  front end multiplexing many concurrent GPS streams into sharded
+  :class:`~repro.engine.executors.MicroBatchExecutor` instances with bounded
+  queues, explicit backpressure, LRU session eviction and a drain path whose
+  output is canonically identical to a sequential batch run;
+* :mod:`repro.service.http` — an optional stdlib-only HTTP facade
+  (``POST /ingest``, ``GET /metrics``, …) for emitters that speak JSON over
+  a socket instead of calling into the process.
+"""
+
+from repro.service.http import HttpIngestServer
+from repro.service.routing import ConsistentHashRing
+from repro.service.service import AnnotationService, ServiceStats
+
+__all__ = [
+    "AnnotationService",
+    "ConsistentHashRing",
+    "HttpIngestServer",
+    "ServiceStats",
+]

@@ -1,0 +1,461 @@
+"""Annotation-as-a-service: an asyncio ingest tier over the stage-graph engine.
+
+:class:`AnnotationService` multiplexes many concurrent GPS object streams into
+sharded :class:`~repro.engine.executors.MicroBatchExecutor` instances — the
+same streaming session loop :class:`StreamingAnnotationEngine` drives, but
+fanned out across shards so heavy traffic from many emitters does not
+serialise behind one session registry:
+
+* **routing** — events are routed to a shard by consistent-hashing the object
+  id (:mod:`repro.service.routing`), so all trajectories of one object share
+  one stateful session and routing is stable across processes;
+* **backpressure** — each shard owns a bounded ``asyncio.Queue``; when it
+  fills, ``await service.ingest(...)`` suspends the producer until the shard
+  catches up.  Events are *never* dropped: slow producers wait;
+* **memory budget** — ``config.service.session_budget`` is divided across
+  shards as each shard's LRU session capacity; the least recently active
+  sessions are gracefully closed through the same gap close-out path an
+  explicit close takes (sealing and annotating their open trajectories), and
+  :meth:`evict_sessions` forces the same path on demand;
+* **drain/shutdown** — :meth:`drain` stops intake, flushes every queue, closes
+  every open session in every shard and (when persistence is on) commits all
+  sealed results in one deterministic-order transaction, so the drained
+  output is canonically byte-identical to a sequential
+  :meth:`~repro.core.pipeline.SeMiTriPipeline.annotate_many` over the
+  delivered events;
+* **telemetry** — per-shard queue-depth gauges, events/results counters and a
+  service-wide enqueue-to-absorbed latency histogram live in a PR 6
+  :class:`~repro.obs.metrics.MetricsRegistry`, Prometheus rendering included.
+
+Shard executors run on a thread pool (one hand-off per micro-batch, one
+in-flight batch per shard), which keeps the event loop free for I/O and lets
+the numpy kernels overlap across shards; per-shard absorption order equals
+enqueue order, which is what the parity tests pin down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, List, Optional, Tuple, Union
+
+from repro.core.config import PipelineConfig
+from repro.core.errors import ConfigurationError, ServiceError
+from repro.core.pipeline import AnnotationSources, PipelineResult
+from repro.core.points import SpatioTemporalPoint
+from repro.engine.executors import MicroBatchExecutor
+from repro.engine.plan import Plan
+from repro.obs.metrics import MetricsRegistry, ServiceMetrics, ShardMetrics
+from repro.parallel.context import GeoContext
+from repro.service.routing import ConsistentHashRing
+from repro.store.store import SemanticTrajectoryStore
+
+__all__ = ["AnnotationService", "ServiceStats"]
+
+#: Queue sentinel that tells a shard consumer the stream is over.
+_STOP = object()
+
+#: Queue item kinds (events and per-object control messages share the queue
+#: so control respects the same ordering and backpressure as data).
+_EVENT, _CLOSE, _EVICT = "event", "close", "evict"
+
+#: One queued item: (kind, object id or eviction target, point, enqueue time).
+_Item = Tuple[str, object, Optional[SpatioTemporalPoint], float]
+
+
+@dataclass
+class ServiceStats:
+    """Counters the service maintains across its lifetime."""
+
+    events: int = 0
+    """Events accepted into a shard queue."""
+
+    results: int = 0
+    """Sealed trajectories collected from the shards."""
+
+    closed_objects: int = 0
+    """Explicit per-object close requests."""
+
+    backpressure_waits: int = 0
+    """Ingest calls that found their shard queue full and had to await."""
+
+    batches: int = 0
+    """Micro-batches handed to shard executors."""
+
+    errors: int = 0
+    """Shard batches that raised (their events are poisoned, never retried)."""
+
+
+class _ShardWorker:
+    """One shard's synchronous half: a micro-batch executor plus bookkeeping.
+
+    ``process`` runs on the service's thread pool; the consumer coroutine
+    awaits each batch before submitting the next, so a worker is only ever
+    touched by one thread at a time.
+    """
+
+    def __init__(self, index: int, plan: Plan, metrics: ShardMetrics):
+        self.index = index
+        self.executor = MicroBatchExecutor(plan)
+        self.metrics = metrics
+        self.events_absorbed = 0
+
+    def process(self, batch: List[_Item]) -> List[PipelineResult]:
+        """Absorb one micro-batch of events and control messages, in order."""
+        executor = self.executor
+        results: List[PipelineResult] = []
+        for kind, object_id, point, _ in batch:
+            if kind == _EVENT:
+                assert point is not None
+                results.extend(executor.ingest(str(object_id), point))
+                self.events_absorbed += 1
+            elif kind == _CLOSE:
+                results.extend(executor.close_object(str(object_id)))
+            else:  # _EVICT: object_id carries the target open-session count
+                results.extend(executor.evict_sessions(int(object_id)))  # type: ignore[arg-type]
+        self.metrics.events.inc(sum(1 for item in batch if item[0] == _EVENT))
+        self.metrics.results.inc(len(results))
+        self.metrics.open_sessions.set(executor.open_session_count)
+        return results
+
+    def drain(self) -> List[PipelineResult]:
+        """Close every open session (flushing the pending micro-batch first)."""
+        results = self.executor.close_all()
+        self.metrics.results.inc(len(results))
+        self.metrics.open_sessions.set(0)
+        return results
+
+
+class AnnotationService:
+    """Long-running ingest front end over sharded streaming executors.
+
+    Typical usage::
+
+        service = AnnotationService(sources, config=config)
+        async with service:
+            await service.ingest("car-7", point)       # awaits when shard is full
+            ...
+            results = await service.drain()            # flush + close everything
+
+    Parameters
+    ----------
+    sources:
+        The annotation sources, or a prebuilt immutable
+        :class:`~repro.parallel.context.GeoContext` snapshot whose frozen
+        indexes every shard then shares (one index build for the whole
+        service).
+    config:
+        Pipeline configuration; ``config.service`` sizes the shard fan-out,
+        queues and session budget.  Must be ``None`` or equal to the
+        snapshot's config when a :class:`GeoContext` is passed.
+    store / persist:
+        When both are given, :meth:`drain` commits every sealed trajectory in
+        one deterministic-order transaction.  Shards never touch the store.
+    on_result:
+        Callback invoked on the event-loop thread for every sealed trajectory
+        as it is collected.
+    """
+
+    def __init__(
+        self,
+        sources: Union[AnnotationSources, GeoContext],
+        config: Optional[PipelineConfig] = None,
+        store: Optional[SemanticTrajectoryStore] = None,
+        persist: bool = False,
+        on_result: Optional[Callable[[PipelineResult], None]] = None,
+    ):
+        if isinstance(sources, GeoContext):
+            context = sources
+            if config is not None and config != context.config:
+                raise ConfigurationError(
+                    "config conflicts with the GeoContext snapshot's config; "
+                    "bake the desired config into the snapshot via GeoContext.build"
+                )
+        else:
+            context = GeoContext(sources, config if config is not None else PipelineConfig())
+        self._context = context
+        self._config = context.config
+        service_config = self._config.service
+        self._shard_count = service_config.resolved_shards
+        self._queue_depth = service_config.queue_depth
+        self._max_batch = service_config.max_batch
+        self._ring = ConsistentHashRing(self._shard_count, replicas=service_config.ring_replicas)
+        self._store = store
+        self._persist = persist and store is not None
+        self._on_result = on_result
+
+        self.registry = MetricsRegistry()
+        self.metrics = ServiceMetrics(self.registry)
+        self.stats = ServiceStats()
+
+        # Each shard gets its share of the session budget; everything else
+        # (annotators, indexes, config) is the shared snapshot's.  Shard plans
+        # never persist — the service commits at drain time, in one place.
+        per_shard_sessions = max(1, service_config.session_budget // self._shard_count)
+        shard_config = replace(
+            self._config,
+            streaming=replace(self._config.streaming, max_sessions=per_shard_sessions),
+        )
+        self._workers = [
+            _ShardWorker(
+                index,
+                Plan.compile(
+                    sources=context.sources,
+                    config=shard_config,
+                    annotators=context.annotators,
+                ),
+                self.metrics.shard(index),
+            )
+            for index in range(self._shard_count)
+        ]
+
+        self._queues: List["asyncio.Queue[object]"] = []
+        self._consumers: List["asyncio.Task[None]"] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._results: List[PipelineResult] = []
+        # (object id, collection sequence) per result: the deterministic sort
+        # key of the drain-time store commit.  Within one object the sequence
+        # follows absorption order (one shard, serialized), so sorting by it
+        # reproduces per-object sealing order no matter how shards interleave.
+        self._order: List[Tuple[str, int]] = []
+        self._state = "new"
+
+    # ---------------------------------------------------------------- identity
+    @property
+    def shard_count(self) -> int:
+        """Number of executor shards the service fans out to."""
+        return self._shard_count
+
+    @property
+    def config(self) -> PipelineConfig:
+        """The pipeline configuration every shard runs."""
+        return self._config
+
+    @property
+    def context(self) -> GeoContext:
+        """The immutable geographic snapshot shared by every shard."""
+        return self._context
+
+    @property
+    def results(self) -> List[PipelineResult]:
+        """Every sealed trajectory collected so far (collection order)."""
+        return list(self._results)
+
+    @property
+    def delivered_events(self) -> int:
+        """Events absorbed by shard executors (equals ``stats.events`` after drain)."""
+        return sum(worker.events_absorbed for worker in self._workers)
+
+    @property
+    def dropped_events(self) -> int:
+        """Accepted-but-never-absorbed events.
+
+        Positive only while events are still queued or after a shard batch
+        raised; a clean :meth:`drain` leaves it at zero — the service's
+        no-drop contract.
+        """
+        return self.stats.events - self.delivered_events
+
+    @property
+    def open_session_count(self) -> int:
+        """Open per-object sessions across every shard."""
+        return sum(worker.executor.open_session_count for worker in self._workers)
+
+    @property
+    def sessions_evicted(self) -> int:
+        """Sessions closed by LRU budget pressure or explicit eviction."""
+        return sum(worker.executor.sessions_evicted for worker in self._workers)
+
+    def queue_depths(self) -> List[int]:
+        """Current per-shard queue depths (diagnostics)."""
+        return [queue.qsize() for queue in self._queues]
+
+    def shard_for(self, object_id: str) -> int:
+        """The shard index the router assigns to ``object_id``."""
+        return self._ring.shard_for(object_id)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the service registry."""
+        return self.registry.render_prometheus()
+
+    # --------------------------------------------------------------- lifecycle
+    async def start(self) -> "AnnotationService":
+        """Create the shard queues, consumers and worker thread pool."""
+        if self._state != "new":
+            raise ServiceError(f"cannot start a service in state {self._state!r}")
+        self._queues = [
+            asyncio.Queue(maxsize=self._queue_depth) for _ in range(self._shard_count)
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._shard_count, thread_name_prefix="semitri-shard"
+        )
+        self._consumers = [
+            asyncio.create_task(self._consume(index), name=f"semitri-shard-{index}")
+            for index in range(self._shard_count)
+        ]
+        self._state = "running"
+        return self
+
+    async def __aenter__(self) -> "AnnotationService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type: object, exc: object, tb: object) -> None:
+        await self.shutdown()
+
+    async def drain(self) -> List[PipelineResult]:
+        """Stop intake, flush every queue, close every session, commit.
+
+        Returns **all** results collected since :meth:`start` — queued events
+        are fully absorbed (FIFO per shard) before the remaining sessions are
+        closed through the gap close-out path, so nothing is lost.  With
+        persistence enabled the sealed trajectories are committed here, in
+        one transaction, ordered by (object id, per-object sealing order) —
+        a deterministic order independent of shard interleaving.
+        """
+        if self._state == "drained":
+            return self.results
+        if self._state != "running":
+            raise ServiceError(f"cannot drain a service in state {self._state!r}")
+        self._state = "draining"
+        for queue in self._queues:
+            await queue.put(_STOP)
+        await asyncio.gather(*self._consumers)
+        loop = asyncio.get_running_loop()
+        assert self._pool is not None
+        closes = [
+            loop.run_in_executor(self._pool, worker.drain) for worker in self._workers
+        ]
+        for sealed in await asyncio.gather(*closes):
+            self._collect(sealed)
+        if self._persist:
+            self._commit_results()
+        self._state = "drained"
+        return self.results
+
+    async def shutdown(self) -> List[PipelineResult]:
+        """Drain (if still running) and release the worker thread pool."""
+        results = await self.drain() if self._state in ("running", "draining") else self.results
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._state = "closed"
+        return results
+
+    # -------------------------------------------------------------------- feed
+    async def ingest(self, object_id: str, point: SpatioTemporalPoint) -> None:
+        """Feed one event; awaits (never drops) when the shard queue is full."""
+        queue = self._intake_queue(object_id)
+        await self._enqueue(queue, (_EVENT, object_id, point, time.perf_counter()))
+        self.stats.events += 1
+
+    async def ingest_many(
+        self, events: Iterable[Tuple[str, SpatioTemporalPoint]]
+    ) -> int:
+        """Feed several events in order; returns the number accepted."""
+        accepted = 0
+        for object_id, point in events:
+            await self.ingest(object_id, point)
+            accepted += 1
+        return accepted
+
+    async def close_object(self, object_id: str) -> None:
+        """End of stream for one object: its open trajectory is sealed.
+
+        The close rides the shard queue behind the object's queued events, so
+        it takes effect exactly where the emitter hung up.
+        """
+        queue = self._intake_queue(object_id)
+        await self._enqueue(queue, (_CLOSE, object_id, None, time.perf_counter()))
+        self.stats.closed_objects += 1
+
+    async def evict_sessions(self, target_per_shard: int) -> None:
+        """Ask every shard to shrink to ``target_per_shard`` open sessions.
+
+        The eviction request is queued like any event, so it is applied after
+        everything already accepted; evicted sessions seal (and annotate)
+        their open trajectories exactly like a gap close-out.
+        """
+        if self._state != "running":
+            raise ServiceError(f"cannot evict on a service in state {self._state!r}")
+        if target_per_shard < 0:
+            raise ConfigurationError("target_per_shard must be non-negative")
+        before = self.sessions_evicted
+        for queue in self._queues:
+            await self._enqueue(queue, (_EVICT, target_per_shard, None, time.perf_counter()))
+        # Eviction is fire-and-forget by design; the counter below reflects
+        # evictions already performed, not the ones just requested.
+        self.metrics.sessions_evicted.inc(max(0, self.sessions_evicted - before))
+
+    # --------------------------------------------------------------- internals
+    def _intake_queue(self, object_id: str) -> "asyncio.Queue[object]":
+        if self._state != "running":
+            raise ServiceError(
+                f"cannot ingest on a service in state {self._state!r}; "
+                "start() it first (or stop feeding after drain())"
+            )
+        return self._queues[self._ring.shard_for(object_id)]
+
+    async def _enqueue(self, queue: "asyncio.Queue[object]", item: _Item) -> None:
+        if queue.full():
+            # Explicit backpressure: the producer suspends until the shard
+            # frees a slot.  Counted so operators can see producers waiting.
+            self.stats.backpressure_waits += 1
+            self.metrics.backpressure_waits.inc()
+        await queue.put(item)
+
+    async def _consume(self, index: int) -> None:
+        queue = self._queues[index]
+        worker = self._workers[index]
+        metrics = worker.metrics
+        loop = asyncio.get_running_loop()
+        assert self._pool is not None
+        stopping = False
+        while not stopping:
+            head = await queue.get()
+            if head is _STOP:
+                break
+            batch: List[_Item] = [head]  # type: ignore[list-item]
+            while len(batch) < self._max_batch:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is _STOP:
+                    stopping = True
+                    break
+                batch.append(item)  # type: ignore[arg-type]
+            metrics.queue_depth.set(queue.qsize())
+            self.stats.batches += 1
+            try:
+                sealed = await loop.run_in_executor(self._pool, worker.process, batch)
+            except Exception:
+                # The batch is poisoned (its session pass already consumed
+                # the events); count it and keep the shard alive for the
+                # other objects rather than wedging the whole queue.
+                self.stats.errors += 1
+                continue
+            finished = time.perf_counter()
+            for _, _, _, enqueued in batch:
+                self.metrics.ingest_latency.observe(finished - enqueued)
+            self._collect(sealed)
+            metrics.queue_depth.set(queue.qsize())
+
+    def _collect(self, sealed: List[PipelineResult]) -> None:
+        for result in sealed:
+            self._order.append((result.trajectory.object_id, len(self._order)))
+            self._results.append(result)
+            self.stats.results += 1
+            if self._on_result is not None:
+                self._on_result(result)
+
+    def _commit_results(self) -> None:
+        assert self._store is not None
+        ordered = sorted(
+            range(len(self._results)), key=lambda position: self._order[position]
+        )
+        self._store.save_annotated_trajectories(
+            (self._results[position].trajectory, self._results[position].episodes)
+            for position in ordered
+        )

@@ -261,6 +261,27 @@ class SessionManager:
         self._track_depth()
         return session, evicted
 
+    def evict_lru(self, target_size: int) -> List[Session]:
+        """Evict least-recently-active sessions down to ``target_size`` open.
+
+        The memory-pressure hook of the ingestion service: like capacity
+        eviction in :meth:`acquire`, the evicted sessions are only removed
+        from the registry — the caller must close them so their open
+        trajectories are sealed through the normal gap close-out path.
+        """
+        if target_size < 0:
+            target_size = 0
+        evicted: List[Session] = []
+        while len(self._sessions) > target_size:
+            _, lru = self._sessions.popitem(last=False)
+            evicted.append(lru)
+            self.evicted_total += 1
+            if self._metrics is not None:
+                self._metrics.evictions.inc()
+        if evicted:
+            self._track_depth()
+        return evicted
+
     def get(self, object_id: str) -> Optional[Session]:
         """The live session for ``object_id``, if any (does not touch LRU order)."""
         return self._sessions.get(object_id)

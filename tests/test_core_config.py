@@ -7,6 +7,7 @@ import pytest
 from repro.core.config import (
     CleaningConfig,
     ParallelConfig,
+    ServiceConfig,
     MapMatchingConfig,
     PipelineConfig,
     PointAnnotationConfig,
@@ -150,3 +151,84 @@ class TestParallelConfig:
             ParallelConfig(dispatch="greedy")
         with pytest.raises(ConfigurationError):
             ParallelConfig(shared_memory="maybe")
+
+
+class TestServiceConfig:
+    def test_defaults_are_valid(self):
+        config = ServiceConfig()
+        assert config.queue_depth >= 1
+        assert config.resolved_shards >= 1
+
+    def test_zero_shards_resolve_to_effective_cores(self):
+        from repro.core.cpu import effective_cpu_count
+
+        assert ServiceConfig(shards=0).resolved_shards == effective_cpu_count()
+        assert ServiceConfig(shards=5).resolved_shards == 5
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(shards=-1)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(queue_depth=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(session_budget=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(ring_replicas=0)
+
+
+class TestConfigDictConstruction:
+    def test_to_dict_from_dict_round_trip(self):
+        config = PipelineConfig.for_vehicles()
+        rendered = config.to_dict()
+        assert rendered["stop_move"]["policy"] == "hybrid"
+        assert PipelineConfig.from_dict(rendered) == config
+
+    def test_partial_data_keeps_base_defaults(self):
+        config = PipelineConfig.from_dict({"stop_move": {"speed_threshold": 2.5}})
+        assert config.stop_move.speed_threshold == 2.5
+        assert config.stop_move.policy == PipelineConfig().stop_move.policy
+        assert config.cleaning == PipelineConfig().cleaning
+
+    def test_dotted_overrides(self):
+        config = PipelineConfig.from_dict(
+            overrides={"parallel.dispatch": "stealing", "service.shards": 3}
+        )
+        assert config.parallel.dispatch == "stealing"
+        assert config.service.shards == 3
+
+    def test_with_overrides_returns_a_new_validated_copy(self):
+        base = PipelineConfig.for_people()
+        derived = base.with_overrides({"streaming.micro_batch_size": 9})
+        assert derived.streaming.micro_batch_size == 9
+        assert base.streaming.micro_batch_size == PipelineConfig().streaming.micro_batch_size
+        assert derived.cleaning == base.cleaning
+
+    def test_string_values_are_coerced_to_field_types(self):
+        config = PipelineConfig.from_dict(
+            overrides={
+                "service.queue_depth": "128",
+                "streaming.apply_cleaning": "false",
+                "stop_move.speed_threshold": "1.25",
+            }
+        )
+        assert config.service.queue_depth == 128
+        assert config.streaming.apply_cleaning is False
+        assert config.stop_move.speed_threshold == pytest.approx(1.25)
+
+    def test_unknown_section_field_and_path_raise(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict({"teleport": {}})
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict({"stop_move": {"warp_speed": 1}})
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict(overrides={"speed_threshold": 1.0})
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict(overrides={"stop_move.speed_threshold": "fast"})
+
+    def test_values_still_pass_dataclass_validation(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict({"service": {"queue_depth": 0}})
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict(overrides={"parallel.executor": "threads"})
