@@ -463,6 +463,69 @@ class ObservabilityConfig:
         )
 
 
+#: The failure-handling modes a :class:`FailurePolicy` can select.
+FAILURE_MODES: Tuple[str, ...] = ("fail_fast", "skip", "retry")
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How executors treat a per-trajectory stage failure (:mod:`repro.faults`).
+
+    The default ``fail_fast`` reproduces the historical behaviour exactly: the
+    first stage exception propagates and aborts the run.  ``skip`` isolates
+    the failure to the one trajectory (it is quarantined, the rest of the
+    batch survives); ``retry`` additionally re-runs the failed trajectory with
+    deterministic exponential backoff before quarantining it.  The policy also
+    arms worker-loss recovery in the process-pool executor: lost shards are
+    resubmitted (and bisected down to the poison trajectory) instead of
+    aborting the batch.
+    """
+
+    mode: str = "fail_fast"
+    """``"fail_fast"``, ``"skip"`` or ``"retry"``."""
+
+    max_retries: int = 2
+    """Re-attempts per failed trajectory before quarantine (``retry`` mode)."""
+
+    backoff_base: float = 0.05
+    """Seconds slept before the first retry; deterministic, never jittered."""
+
+    backoff_factor: float = 2.0
+    """Multiplier applied to the backoff for each further retry."""
+
+    max_shard_retries: int = 1
+    """Whole-shard resubmissions after a worker loss before the shard is
+    bisected to isolate the trajectory that keeps killing workers."""
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAILURE_MODES:
+            raise ConfigurationError(
+                f"unknown failure mode {self.mode!r}; expected one of {list(FAILURE_MODES)}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.backoff_base < 0:
+            raise ConfigurationError("backoff_base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be at least 1.0")
+        if self.max_shard_retries < 0:
+            raise ConfigurationError("max_shard_retries must be non-negative")
+
+    @property
+    def isolates(self) -> bool:
+        """Whether a stage failure is contained to its trajectory."""
+        return self.mode != "fail_fast"
+
+    @property
+    def retries(self) -> int:
+        """Effective per-trajectory retry budget (0 outside ``retry`` mode)."""
+        return self.max_retries if self.mode == "retry" else 0
+
+    def backoff(self, attempt: int) -> float:
+        """Deterministic backoff (seconds) before re-attempt ``attempt + 1``."""
+        return self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Parameters of the asyncio ingestion service (:mod:`repro.service`).
@@ -497,6 +560,19 @@ class ServiceConfig:
     """Virtual nodes per shard on the consistent-hash ring; more replicas
     smooth the key distribution at a small routing-table cost."""
 
+    journal_dir: str = ""
+    """Directory of the crash-safe ingest journal (per-shard write-ahead
+    logs).  Empty (the default) disables journaling; when set, every accepted
+    event and close is appended before it is enqueued, a killed service
+    replays the un-drained tail on its next :meth:`start`, and a successful
+    drain rotates the segments away."""
+
+    journal_fsync_batch: int = 1024
+    """Appends between journal ``fdatasync`` calls (group commit).  1 syncs
+    every record (maximum durability, slowest); larger batches trade a
+    bounded crash window — well under 100 ms of events at sustained ingest
+    rates — for throughput.  The journal always syncs at drain time."""
+
     def __post_init__(self) -> None:
         if self.shards < 0:
             raise ConfigurationError("shards must be at least 1 (or 0 for auto)")
@@ -508,6 +584,8 @@ class ServiceConfig:
             raise ConfigurationError("session_budget must be at least 1")
         if self.ring_replicas < 1:
             raise ConfigurationError("ring_replicas must be at least 1")
+        if self.journal_fsync_batch < 1:
+            raise ConfigurationError("journal_fsync_batch must be at least 1")
 
     @property
     def resolved_shards(self) -> int:
@@ -538,6 +616,7 @@ class PipelineConfig:
     compute: ComputeConfig = field(default_factory=ComputeConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig.from_env)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    failure: FailurePolicy = field(default_factory=FailurePolicy)
 
     # ------------------------------------------------------- dict construction
     def to_dict(self) -> Dict[str, Any]:

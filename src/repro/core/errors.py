@@ -40,3 +40,14 @@ class ServiceError(SemitriError):
     Examples: feeding events before :meth:`AnnotationService.start` or after
     a drain began, or draining a service that was never started.
     """
+
+
+class InjectedFault(SemitriError):
+    """An artificial failure raised by the deterministic fault injector.
+
+    Only ever raised when ``SEMITRI_FAULTS`` (or an explicit
+    :class:`~repro.faults.inject.FaultPlan`) arms :mod:`repro.faults.inject`;
+    production runs never see this type.  It deliberately derives from
+    :class:`SemitriError` so injected chaos exercises exactly the handling
+    paths real failures take.
+    """

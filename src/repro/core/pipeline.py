@@ -40,6 +40,7 @@ from repro.store.store import SemanticTrajectoryStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.engine.plan import Plan
+    from repro.faults.failures import FailureEvent
     from repro.obs.trace import Span
 
     #: One compiled-plan cache entry: the id-anchoring objects plus the plan.
@@ -136,6 +137,16 @@ class PipelineResult:
     pool worker carries its spans back to the parent process, where the
     plan's tracer adopts them (see :meth:`repro.obs.runtime.Telemetry.collect`).
     Like ``latency``, spans are telemetry — excluded from canonical bytes.
+    """
+    fault_events: List["FailureEvent"] = field(default_factory=list)
+    """Failure history of a retried-then-successful trajectory.
+
+    Empty on the happy path.  Under ``FailurePolicy(mode="retry")`` a
+    trajectory that failed and then succeeded carries one
+    :class:`~repro.faults.failures.FailureEvent` per failed attempt, which the
+    parent-side collection points fold into the run's failure log.  Like
+    ``latency`` and ``spans``, this is bookkeeping — excluded from canonical
+    bytes, so a retried result stays byte-identical to a fault-free one.
     """
 
     @property

@@ -46,12 +46,19 @@ from typing import (
     Tuple,
 )
 
+from repro.core.config import FailurePolicy
 from repro.core.episodes import Episode
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, SemitriError
 from repro.core.pipeline import PipelineResult
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
 from repro.engine.plan import Plan
 from repro.engine.stages import MapMatchStage, WorkItem
+from repro.faults.failures import (
+    FailureEvent,
+    TrajectoryFailure,
+    failure_stage,
+    tag_failure_stage,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycles broken at runtime
     from repro.parallel.context import GeoContext
@@ -63,7 +70,10 @@ Shard = Tuple[int, List[Tuple[int, RawTrajectory]]]
 
 # ---------------------------------------------------------------- stage loop
 def run_stages(
-    plan: Plan, trajectory: RawTrajectory, include_writeback: bool = True
+    plan: Plan,
+    trajectory: RawTrajectory,
+    include_writeback: bool = True,
+    worker: bool = False,
 ) -> PipelineResult:
     """Run one trajectory through every stage of the plan, with timing.
 
@@ -71,25 +81,98 @@ def run_stages(
     plan persists (and ``include_writeback`` is true) the whole run happens
     inside one store transaction scope — committed on success, rolled back if
     any stage raises — so a trajectory is never half-persisted.
+
+    Failures are *tagged* here (the originating stage rides on the exception,
+    see :func:`~repro.faults.failures.tag_failure_stage`) but never handled:
+    isolation, retries and quarantine live in :func:`run_stages_resilient`.
+    ``worker`` marks execution inside a pool worker process, which is the
+    only place ``kill`` fault specs may fire.
     """
+    faults = plan.faults
+    if faults.enabled:
+        faults.on_trajectory(trajectory.object_id, worker=worker)
     item = WorkItem.start(trajectory, plan.telemetry)
     scope: ContextManager[object] = (
         plan.store if plan.persist and include_writeback and plan.store is not None
         else nullcontext()
     )
-    with scope:
-        for stage in plan.stages:
-            if stage.writes_back and not include_writeback:
-                continue
-            if stage.ready(item):
-                with item.stage_scope(stage.name):
-                    stage.run(item)
+    try:
+        with scope:
+            for stage in plan.stages:
+                if stage.writes_back and not include_writeback:
+                    continue
+                if stage.ready(item):
+                    try:
+                        with item.stage_scope(stage.name):
+                            if faults.enabled:
+                                faults.on_stage(stage.name, trajectory.object_id)
+                            stage.run(item)
+                    except BaseException as error:
+                        tag_failure_stage(error, stage.name)
+                        raise
+    except BaseException as error:
+        # Untagged here means the failure came from the scope exit itself —
+        # the deferred store commit (first tag wins, so stage tags survive).
+        tag_failure_stage(error, "store_commit")
+        raise
     # Seal the trace onto the result, but never collect here: collection into
     # the plan's registry/tracer happens exactly once per result, in the
     # parent process (the executors and merge_shard_results), so worker-side
     # runs just ship their spans back attached to the pickled result.
     item.finish_trace()
     return item.result
+
+
+def run_stages_resilient(
+    plan: Plan,
+    trajectory: RawTrajectory,
+    include_writeback: bool = True,
+    worker: bool = False,
+) -> "PipelineResult | TrajectoryFailure":
+    """Run one trajectory under the plan's failure policy.
+
+    ``fail_fast`` (the default) is a pass-through to :func:`run_stages` —
+    exceptions propagate exactly as before.  Under ``skip``/``retry`` a stage
+    exception fails only this trajectory: the run is retried up to
+    ``max_retries`` times with deterministic exponential backoff, and
+    exhaustion returns a :class:`TrajectoryFailure` (never raises) for the
+    caller to quarantine.  A retried-then-successful result carries its
+    failure history in ``fault_events``.
+    """
+    policy = plan.failure_policy
+    if not policy.isolates:
+        return run_stages(plan, trajectory, include_writeback=include_writeback, worker=worker)
+    events: List[FailureEvent] = []
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            result = run_stages(
+                plan, trajectory, include_writeback=include_writeback, worker=worker
+            )
+        except Exception as error:
+            stage = failure_stage(error)
+            events.append(
+                FailureEvent(
+                    stage=stage, kind=type(error).__name__, attempt=attempt, error=repr(error)
+                )
+            )
+            if attempt <= policy.retries:
+                delay = policy.backoff(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            return TrajectoryFailure(
+                trajectory=trajectory,
+                stage=stage,
+                error=repr(error),
+                attempts=attempt,
+                events=events,
+                exception=error,
+            )
+        if events:
+            result.fault_events = list(events)
+        return result
 
 
 def _group_by_object(
@@ -182,6 +265,13 @@ def merge_shard_results(
     The merge is a pure reordering; when the plan persists, the merged rows
     go through a :class:`ShardedStoreWriter` into one transaction with the
     exact row order a single sequential writer would produce.
+
+    This is also the parent-side failure collection point for sharded runs:
+    retried-then-successful results fold their failure history into the
+    plan's failure log, quarantined input positions are simply absent (the
+    merge tolerates gaps), and under a ``retry`` policy a failed deferred
+    commit is retried with backoff — the writer keeps its buffers across a
+    failed commit, so a retry re-sends the identical batch.
     """
     from repro.parallel.store_writer import ShardedStoreWriter  # deferred: import cycle
 
@@ -192,6 +282,8 @@ def merge_shard_results(
     telemetry = plan.telemetry if plan.telemetry.enabled else None
     for shard_index, items in shard_results:
         for order, result in items:
+            if result.fault_events:
+                plan.ensure_failure_log().absorb_result(result)
             if telemetry is not None:
                 # The single collection point for sharded runs: latency folds
                 # into the registry and worker-emitted spans are adopted
@@ -201,8 +293,35 @@ def merge_shard_results(
             if writer is not None:
                 writer.add_result(shard_index, order, result)
     if writer is not None:
-        writer.commit()
-    return [ordered[index] for index in range(count)]
+        _commit_with_retry(plan, writer.commit)
+    return [ordered[index] for index in range(count) if index in ordered]
+
+
+def _commit_with_retry(plan: Plan, commit: Callable[[], object]) -> None:
+    """Run a deferred store commit under the plan's failure policy.
+
+    A failed commit is rolled back by the store, so retrying re-executes the
+    batch from scratch without duplicating rows.  ``fail_fast`` and ``skip``
+    raise immediately — a commit failure is not a per-trajectory event, so
+    skip-isolation does not apply.
+    """
+    policy = plan.failure_policy
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            commit()
+            return
+        except Exception as error:
+            retryable = policy.mode == "retry" and attempt <= policy.max_retries
+            plan.ensure_failure_log().record_failure(
+                failure_stage(error, "store_commit"), type(error).__name__, retried=retryable
+            )
+            if not retryable:
+                raise
+            delay = policy.backoff(attempt)
+            if delay > 0:
+                time.sleep(delay)
 
 
 def _count_batch(
@@ -247,6 +366,8 @@ class SequentialExecutor(Executor):
         self._deferred = deferred_writeback
 
     def run(self, plan: Plan, trajectories: Sequence[RawTrajectory]) -> List[PipelineResult]:
+        if plan.failure_policy.isolates:
+            return self._run_isolating(plan, trajectories)
         if self._deferred and plan.persist:
             results = [
                 run_stages(plan, trajectory, include_writeback=False)
@@ -265,13 +386,68 @@ class SequentialExecutor(Executor):
         _count_batch(plan, self.kind, trajectories, results)
         return results
 
+    def _run_isolating(
+        self, plan: Plan, trajectories: Sequence[RawTrajectory]
+    ) -> List[PipelineResult]:
+        """Batch run under ``skip``/``retry``: failed trajectories quarantine.
+
+        Survivors keep their relative order (and, on the deferred path, their
+        single-writer store row order); a quarantined trajectory is simply
+        absent from the output, exactly like a too-short fragment.
+        """
+        log = plan.ensure_failure_log()
+        if self._deferred and plan.persist:
+            outputs = [
+                run_stages_resilient(plan, trajectory, include_writeback=False)
+                for trajectory in trajectories
+            ]
+            survivors: List[PipelineResult] = []
+            for out in outputs:
+                if isinstance(out, TrajectoryFailure):
+                    log.quarantine(out)
+                else:
+                    survivors.append(out)
+            merged = merge_shard_results(
+                plan, len(survivors), [(0, list(enumerate(survivors)))]
+            )
+            _count_batch(plan, self.kind, trajectories, merged)
+            return merged
+        results: List[PipelineResult] = []
+        for trajectory in trajectories:
+            out = run_stages_resilient(plan, trajectory)
+            if isinstance(out, TrajectoryFailure):
+                log.quarantine(out)
+                continue
+            if out.fault_events:
+                log.absorb_result(out)
+            if plan.telemetry.enabled:
+                plan.telemetry.collect(out)
+            results.append(out)
+        _count_batch(plan, self.kind, trajectories, results)
+        return results
+
     def run_one(self, plan: Plan, trajectory: RawTrajectory) -> PipelineResult:
-        """Annotate a single trajectory (inline write-back when persisting)."""
-        result = run_stages(plan, trajectory)
+        """Annotate a single trajectory (inline write-back when persisting).
+
+        A single-result API has no "skip" output, so even under an isolating
+        policy an exhausted trajectory is quarantined *and* the terminal
+        exception re-raised.
+        """
+        out = run_stages_resilient(plan, trajectory)
+        if isinstance(out, TrajectoryFailure):
+            plan.ensure_failure_log().quarantine(out)
+            if out.exception is not None:
+                raise out.exception
+            raise SemitriError(
+                f"trajectory {trajectory.trajectory_id!r} exhausted its retries "
+                f"in stage {out.stage!r}: {out.error}"
+            )
+        if out.fault_events:
+            plan.ensure_failure_log().absorb_result(out)
         if plan.telemetry.enabled:
-            plan.telemetry.collect(result)
-        _count_batch(plan, self.kind, [trajectory], [result])
-        return result
+            plan.telemetry.collect(out)
+        _count_batch(plan, self.kind, [trajectory], [out])
+        return out
 
 
 # Worker-process state, set once by the pool initializer.  Under the ``fork``
@@ -313,13 +489,26 @@ def _init_worker(
     _WORKER_PLAN = Plan.from_context(context)
 
 
-def _annotate_shard(shard: Shard) -> Tuple[int, List[Tuple[int, PipelineResult]]]:
-    """Annotate one shard inside a worker process (never persists)."""
+def _annotate_shard(
+    shard: Shard,
+) -> Tuple[int, List[Tuple[int, "PipelineResult | TrajectoryFailure"]]]:
+    """Annotate one shard inside a worker process (never persists).
+
+    Under an isolating policy, failed trajectories come back as
+    :class:`TrajectoryFailure` records (their exception object stripped —
+    arbitrary exceptions may not pickle; the repr travels) for the parent to
+    quarantine.  The worker-side plan reads ``SEMITRI_FAULTS`` from the
+    inherited environment, so injected chaos follows the shard into the pool.
+    """
     shard_index, items = shard
     assert _WORKER_PLAN is not None, "worker used before initialization"
-    return shard_index, [
-        (order, run_stages(_WORKER_PLAN, trajectory)) for order, trajectory in items
-    ]
+    outputs: List[Tuple[int, "PipelineResult | TrajectoryFailure"]] = []
+    for order, trajectory in items:
+        out = run_stages_resilient(_WORKER_PLAN, trajectory, worker=True)
+        if isinstance(out, TrajectoryFailure):
+            out.exception = None
+        outputs.append((order, out))
+    return shard_index, outputs
 
 
 def _release_pool_resources(
@@ -430,16 +619,9 @@ class ProcessPoolExecutor(Executor):
         shards = dispatch_shards(trajectories, shard_count, self._dispatch)
         if len(shards) == 1:
             # A single shard gains nothing from the pool; run it inline.
-            shard_results = [
-                (
-                    shard_index,
-                    [
-                        (order, run_stages(plan, trajectory, include_writeback=False))
-                        for order, trajectory in items
-                    ],
-                )
-                for shard_index, items in shards
-            ]
+            shard_results = [self._run_inline(plan, shards[0])]
+        elif plan.failure_policy.isolates:
+            shard_results = self._run_recovering(plan, shards, plan.failure_policy)
         else:
             pool = self._ensure_pool(plan.geo_context())
             try:
@@ -467,6 +649,135 @@ class ProcessPoolExecutor(Executor):
         merged = merge_shard_results(plan, len(trajectories), shard_results)
         _count_batch(plan, self.kind, trajectories, merged)
         return merged
+
+    def _run_inline(
+        self, plan: Plan, shard: Shard
+    ) -> Tuple[int, List[Tuple[int, PipelineResult]]]:
+        """Run one shard in-process (single-shard batches skip the pool).
+
+        Under ``fail_fast`` this raises exactly like the historical inline
+        path; under an isolating policy exhausted trajectories quarantine
+        here and the survivors proceed to the merge.
+        """
+        shard_index, items = shard
+        outputs: List[Tuple[int, PipelineResult]] = []
+        for order, trajectory in items:
+            out = run_stages_resilient(plan, trajectory, include_writeback=False)
+            if isinstance(out, TrajectoryFailure):
+                plan.ensure_failure_log().quarantine(out)
+            else:
+                outputs.append((order, out))
+        return shard_index, outputs
+
+    def _run_recovering(
+        self, plan: Plan, shards: List[Shard], policy: FailurePolicy
+    ) -> List[Tuple[int, List[Tuple[int, PipelineResult]]]]:
+        """Pool execution that survives worker loss (isolating policies only).
+
+        A ``BrokenExecutor`` poisons every in-flight future, but results of
+        already-completed shards are kept; the pool is torn down, re-primed,
+        and only the unfinished shards are resubmitted.  A shard still
+        pending after ``max_shard_retries`` whole-shard retries is *bisected*
+        — halves inherit the attempt count, so repeated losses binary-search
+        down to single-trajectory shards.  Because a broken multi-shard round
+        cannot prove *which* shard killed the worker (queued siblings break
+        too), an exhausted singleton is never quarantined by association:
+        it is resubmitted **solo**, and only a shard that breaks the pool
+        while running alone is quarantined as a ``WorkerLost`` failure with
+        its raw events intact.  Canonical bytes of every surviving
+        trajectory are untouched: recovery only re-runs work that never
+        completed.
+        """
+        log = plan.ensure_failure_log()
+        pending: Dict[int, List[Tuple[int, RawTrajectory]]] = {
+            index: items for index, items in shards
+        }
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        next_index = max(pending) + 1
+        collected: List[Tuple[int, List[Tuple[int, PipelineResult]]]] = []
+        while pending:
+            pool = self._ensure_pool(plan.geo_context())
+            # Exhausted singletons run solo, one per round: a broken solo
+            # round pins the blame on that exact shard, so innocents caught
+            # in a round a poison shard breaks are retried, not quarantined.
+            suspects = sorted(
+                index
+                for index, items in pending.items()
+                if len(items) == 1 and attempts[index] > policy.max_shard_retries
+            )
+            round_shards = (
+                {suspects[0]: pending[suspects[0]]} if suspects else dict(pending)
+            )
+            submission = sorted(
+                round_shards.items(),
+                key=lambda entry: (-sum(len(t) for _, t in entry[1]), entry[0]),
+            )
+            futures = {
+                pool.submit(_annotate_shard, (index, items)): index
+                for index, items in submission
+            }
+            broken = False
+            for future, index in futures.items():
+                try:
+                    shard_index, outputs = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    continue
+                clean: List[Tuple[int, PipelineResult]] = []
+                for order, out in outputs:
+                    if isinstance(out, TrajectoryFailure):
+                        log.quarantine(out)
+                    else:
+                        clean.append((order, out))
+                collected.append((shard_index, clean))
+                del pending[index]
+            if not broken:
+                continue
+            # Tear the poisoned pool down (stops siblings, unlinks the
+            # shared segment); the next loop iteration re-primes it.
+            self.close()
+            log.record_worker_loss()
+            solo = len(round_shards) == 1
+            for index in round_shards:
+                if index not in pending:
+                    continue  # completed before the pool broke
+                items = pending[index]
+                attempt = attempts[index] + 1
+                attempts[index] = attempt
+                if attempt <= policy.max_shard_retries:
+                    continue  # whole-shard retry next round
+                if solo and len(items) == 1:
+                    # Proven poison: it alone was running when the worker
+                    # died, and its retry budget is spent.
+                    del pending[index]
+                    order, trajectory = items[0]
+                    log.quarantine(
+                        TrajectoryFailure(
+                            trajectory=trajectory,
+                            stage="worker",
+                            error=(
+                                "worker process lost while annotating this "
+                                "trajectory (SIGKILL/OOM)"
+                            ),
+                            attempts=attempt,
+                            events=[
+                                FailureEvent(
+                                    stage="worker", kind="WorkerLost", attempt=prior + 1
+                                )
+                                for prior in range(attempt)
+                            ],
+                        )
+                    )
+                elif len(items) > 1:
+                    del pending[index]
+                    half = (len(items) + 1) // 2
+                    for part in (items[:half], items[half:]):
+                        pending[next_index] = part
+                        attempts[next_index] = attempt
+                        next_index += 1
+                # else: an exhausted singleton from a multi-shard round —
+                # kept pending; the suspect path above will run it solo.
+        return collected
 
     def _ensure_pool(self, context: GeoContext) -> _FuturesProcessPool:
         if self._pool is not None:
@@ -562,6 +873,10 @@ class MicroBatchExecutor(Executor):
         self._sessions = SessionManager(plan.config, metrics=self._streaming_metrics)
         self._pending: List[Tuple[str, SpatioTemporalPoint]] = []
         self._items: Dict[str, WorkItem] = {}
+        # Trajectories whose incremental absorption failed under an isolating
+        # policy: stage routing is suspended for them (events keep counting),
+        # and close-time handling decides between batch-replay and quarantine.
+        self._poisoned: Dict[str, List[FailureEvent]] = {}
         match_stage = plan.stage("map_match")
         self._windowed = (
             match_stage.make_windowed_matcher()
@@ -736,6 +1051,7 @@ class MicroBatchExecutor(Executor):
             if self._counters is not None:
                 self._counters.trajectories_discarded.inc()
             self._items.pop(sealed.trajectory.trajectory_id, None)
+            self._poisoned.pop(sealed.trajectory.trajectory_id, None)
             return None
         item = self._item_for(sealed.trajectory)
         item.record_stage("compute_episode", sealed.compute_seconds)
@@ -743,35 +1059,151 @@ class MicroBatchExecutor(Executor):
             self._absorb_episode(item, episode)
 
         plan = self._plan
-        scope: ContextManager[object] = (
-            plan.store if plan.persist and plan.store is not None else nullcontext()
-        )
-        with scope:
-            for stage in plan.stages:
-                stage.close_out(item)
-                if stage.finishes(item):
-                    with item.stage_scope(stage.name):
-                        stage.finish(item)
+        trajectory_id = item.trajectory.trajectory_id
+        events = self._poisoned.pop(trajectory_id, [])
+        result: Optional[PipelineResult]
+        if events:
+            result = self._replay_failed(sealed, events)
+        else:
+            try:
+                self._finish_item(item)
+                result = item.result
+            except Exception as error:
+                if not plan.failure_policy.isolates:
+                    self._items.pop(trajectory_id, None)
+                    raise
+                events = [
+                    FailureEvent(
+                        stage=failure_stage(error),
+                        kind=type(error).__name__,
+                        attempt=1,
+                        error=repr(error),
+                    )
+                ]
+                result = self._replay_failed(sealed, events)
 
-        self._items.pop(item.trajectory.trajectory_id, None)
+        self._items.pop(trajectory_id, None)
+        if result is None:
+            return None
         self.stats.results += 1
-        item.finish_trace()
+        if result is item.result:
+            item.finish_trace()
         if plan.telemetry.enabled:
-            plan.telemetry.collect(item.result)
+            plan.telemetry.collect(result)
         if self._counters is not None:
             self._counters.results.inc()
         if self._on_result is not None:
-            self._on_result(item.result)
-        return item.result
+            self._on_result(result)
+        return result
+
+    def _finish_item(self, item: WorkItem) -> None:
+        """Run close-out and close-time stage bodies (with write-back scope)."""
+        plan = self._plan
+        faults = plan.faults
+        scope: ContextManager[object] = (
+            plan.store if plan.persist and plan.store is not None else nullcontext()
+        )
+        try:
+            with scope:
+                for stage in plan.stages:
+                    stage.close_out(item)
+                    if stage.finishes(item):
+                        try:
+                            with item.stage_scope(stage.name):
+                                if faults.enabled:
+                                    faults.on_stage(stage.name, item.trajectory.object_id)
+                                stage.finish(item)
+                        except BaseException as error:
+                            tag_failure_stage(error, stage.name)
+                            raise
+        except BaseException as error:
+            tag_failure_stage(error, "store_commit")
+            raise
+
+    def _replay_failed(
+        self, sealed: SealedTrajectory, events: List[FailureEvent]
+    ) -> Optional[PipelineResult]:
+        """Retry a failed streaming trajectory by batch-replaying it.
+
+        Incremental absorption consumed the session's events, so the retry
+        path re-runs the *sealed* trajectory through the batch stage loop —
+        which the parity guarantee makes content-identical to an incremental
+        pass — with the policy's backoff between attempts.  Exhaustion (or a
+        poison trajectory whose fault keeps firing) quarantines the sealed
+        trajectory with its raw events; the trajectory id is the session's,
+        so a later replay-from-quarantine slots into the same identity.
+        """
+        plan = self._plan
+        policy = plan.failure_policy
+        log = plan.ensure_failure_log()
+        trajectory = sealed.trajectory
+        failures = list(events)
+        attempt = failures[-1].attempt
+        while attempt <= policy.retries:
+            delay = policy.backoff(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
+            try:
+                result = run_stages(plan, trajectory)
+            except Exception as error:
+                failures.append(
+                    FailureEvent(
+                        stage=failure_stage(error),
+                        kind=type(error).__name__,
+                        attempt=attempt,
+                        error=repr(error),
+                    )
+                )
+                continue
+            result.fault_events = failures
+            log.absorb_result(result)
+            return result
+        log.quarantine(
+            TrajectoryFailure(
+                trajectory=trajectory,
+                stage=failures[-1].stage,
+                error=failures[-1].error,
+                attempts=attempt,
+                events=failures,
+            )
+        )
+        return None
 
     # ------------------------------------------------------------- annotation
     def _absorb_episode(self, item: WorkItem, episode: Episode) -> None:
-        """Route one sealed episode through the plan's incremental stages."""
+        """Route one sealed episode through the plan's incremental stages.
+
+        Under an isolating policy a stage failure poisons the trajectory —
+        routing is suspended for the rest of its episodes (they still append
+        and count) and close-time handling retries or quarantines it; under
+        ``fail_fast`` the tagged exception propagates as before.
+        """
         item.result.episodes.append(episode)
-        for stage in self._plan.stages:
-            if stage.wants_episode(item, episode):
-                with item.stage_scope(stage.name):
-                    stage.absorb_episode(item, episode)
+        plan = self._plan
+        faults = plan.faults
+        trajectory_id = item.trajectory.trajectory_id
+        if trajectory_id not in self._poisoned:
+            for stage in plan.stages:
+                if stage.wants_episode(item, episode):
+                    try:
+                        with item.stage_scope(stage.name):
+                            if faults.enabled:
+                                faults.on_stage(stage.name, item.trajectory.object_id)
+                            stage.absorb_episode(item, episode)
+                    except Exception as error:
+                        tag_failure_stage(error, stage.name)
+                        if not plan.failure_policy.isolates:
+                            raise
+                        self._poisoned.setdefault(trajectory_id, []).append(
+                            FailureEvent(
+                                stage=stage.name,
+                                kind=type(error).__name__,
+                                attempt=1,
+                                error=repr(error),
+                            )
+                        )
+                        break
         self.stats.episodes_sealed += 1
         if self._counters is not None:
             self._counters.episodes_sealed.inc()

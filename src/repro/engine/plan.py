@@ -22,10 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.core.config import PipelineConfig
+from repro.core.config import FailurePolicy, PipelineConfig
 from repro.core.errors import ConfigurationError
 from repro.core.pipeline import AnnotationSources, LayerAnnotators
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.faults.failures import FailureLog
+from repro.faults.inject import DISABLED_FAULTS, FaultInjector
 from repro.engine.stages import (
     CleanStage,
     ComputeEpisodesStage,
@@ -74,6 +76,21 @@ class Plan:
     a live :class:`~repro.obs.runtime.Telemetry` and (when the plan persists)
     binds the store's transaction metrics to its registry.
     """
+    faults: FaultInjector = field(default=DISABLED_FAULTS, repr=False, compare=False)
+    """Deterministic fault injector consulted at the engine's chaos points.
+
+    The shared no-op :data:`~repro.faults.inject.DISABLED_FAULTS` singleton
+    unless ``SEMITRI_FAULTS`` (or an explicit injector handed to
+    :meth:`compile`) arms a plan — production plans pay one attribute read
+    per hook.
+    """
+    failure_log: Optional[FailureLog] = field(default=None, repr=False, compare=False)
+    """Run-scoped failure reconciliation (counters, metrics, quarantine).
+
+    Built by :meth:`compile` (bound to the plan's store and metrics registry)
+    or shared across plans by callers that own the run — the parallel runner
+    and the annotation service pass their own.
+    """
     _context: Optional["GeoContext"] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------ compilation
@@ -86,6 +103,8 @@ class Plan:
         store: Optional[SemanticTrajectoryStore] = None,
         persist: bool = False,
         layers: Optional[Sequence[str]] = None,
+        faults: Optional[FaultInjector] = None,
+        failure_log: Optional[FailureLog] = None,
     ) -> "Plan":
         """Compile a plan for the given configuration and sources.
 
@@ -131,6 +150,12 @@ class Plan:
         telemetry = Telemetry.from_config(config.observability)
         if store is not None and telemetry.metrics is not None:
             store.bind_metrics(telemetry.metrics)
+        if faults is None:
+            faults = FaultInjector.from_env()
+        if store is not None and faults.enabled:
+            store.bind_faults(faults)
+        if failure_log is None:
+            failure_log = FailureLog(config.failure, store=store, registry=telemetry.metrics)
         plan = cls(
             config=config,
             annotators=annotators,
@@ -140,6 +165,8 @@ class Plan:
             store=store,
             persist=persist_enabled,
             telemetry=telemetry,
+            faults=faults,
+            failure_log=failure_log,
         )
         plan.validate()
         return plan
@@ -151,6 +178,8 @@ class Plan:
         store: Optional[SemanticTrajectoryStore] = None,
         persist: bool = False,
         layers: Optional[Sequence[str]] = None,
+        faults: Optional[FaultInjector] = None,
+        failure_log: Optional[FailureLog] = None,
     ) -> "Plan":
         """Compile a plan around an immutable :class:`GeoContext` snapshot.
 
@@ -166,6 +195,8 @@ class Plan:
             store=store,
             persist=persist,
             layers=layers,
+            faults=faults,
+            failure_log=failure_log,
         )
         plan._context = context
         return plan
@@ -185,6 +216,18 @@ class Plan:
                     f"stage produces it; stage order: {self.stage_names()}"
                 )
             available.update(stage.outputs)
+
+    # -------------------------------------------------------------- failures
+    @property
+    def failure_policy(self) -> FailurePolicy:
+        """The failure policy this plan runs under (``config.failure``)."""
+        return self.config.failure
+
+    def ensure_failure_log(self) -> FailureLog:
+        """The plan's failure log, created lazily for hand-built plans."""
+        if self.failure_log is None:
+            self.failure_log = FailureLog(self.config.failure, store=self.store)
+        return self.failure_log
 
     # ------------------------------------------------------------- inspection
     def stage_names(self) -> List[str]:

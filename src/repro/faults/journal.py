@@ -1,0 +1,275 @@
+"""Crash-safe ingest journal: a per-shard write-ahead log for the service.
+
+The service appends every accepted event/close to the journal *before*
+enqueueing it, in JSON-line records fsync'd in batches.  If the process dies
+before drain commits, the next service pointed at the same directory finds
+the orphaned files, replays their records through the normal ingest path, and
+discards them.  A successful drain rotates (deletes) the journal — at that
+point the store holds everything durably.
+
+Records carry a stable ``origin`` identity (``e<epoch>:<shard>:<seq>``).
+Replayed records are re-journaled *with their original origin*, so a crash in
+the middle of replay dedups on the next recovery instead of duplicating
+events.  Idempotency against the store itself comes from committed-trajectory
+dedup at drain time (see ``AnnotationService._commit_results``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Tuple
+
+from repro.core.errors import ServiceError
+from repro.core.points import SpatioTemporalPoint
+
+__all__ = ["JournalRecord", "IngestJournal"]
+
+_FILE_PATTERN = re.compile(r"^shard-(\d+)\.e(\d+)\.wal$")
+_ORIGIN_PATTERN = re.compile(r"^e(\d+):(\d+):(\d+)$")
+
+# Data-only durability is exactly what an append-only WAL needs: fdatasync
+# skips the metadata-only flush (mtime etc.) and is measurably cheaper on
+# ext4; platforms without it (macOS) fall back to full fsync.
+_sync_file = getattr(os, "fdatasync", os.fsync)
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled ingest operation, identified by its ``origin``."""
+
+    origin: str
+    kind: str  # "event" or "close"
+    object_id: str
+    x: float = 0.0
+    y: float = 0.0
+    t: float = 0.0
+
+    def point(self) -> SpatioTemporalPoint:
+        return SpatioTemporalPoint(x=self.x, y=self.y, t=self.t)
+
+    def to_line(self) -> str:
+        if self.kind == "event":
+            payload = [self.origin, self.kind, self.object_id, self.x, self.y, self.t]
+        else:
+            payload = [self.origin, self.kind, self.object_id]
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_line(cls, line: str) -> Optional["JournalRecord"]:
+        """Parse one journal line; ``None`` for a torn/partial final line."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(payload, list) or len(payload) < 3:
+            return None
+        origin, kind, object_id = payload[0], payload[1], payload[2]
+        if kind == "event":
+            if len(payload) != 6:
+                return None
+            return cls(
+                origin=origin,
+                kind=kind,
+                object_id=str(object_id),
+                x=float(payload[3]),
+                y=float(payload[4]),
+                t=float(payload[5]),
+            )
+        if kind == "close" and len(payload) == 3:
+            return cls(origin=origin, kind=kind, object_id=str(object_id))
+        return None
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        match = _ORIGIN_PATTERN.match(self.origin)
+        if match is None:
+            return (0, 0, 0)
+        return (int(match.group(1)), int(match.group(2)), int(match.group(3)))
+
+
+class IngestJournal:
+    """Per-shard write-ahead log with group-commit fsync and epoch rotation.
+
+    Opening a journal scans its directory for files left by a previous
+    (crashed) epoch and exposes their surviving records as
+    :attr:`pending_records`; the new epoch's own files are created alongside.
+    After the owner has replayed and re-journaled the pending records it calls
+    :meth:`discard_recovered` to remove the old files.  :meth:`rotate` after a
+    successful drain deletes the current epoch's files too — the journal is
+    only ever non-empty between an append and the next durable commit.
+    """
+
+    def __init__(self, directory: str, shards: int, fsync_batch: int = 1024):
+        if shards < 1:
+            raise ServiceError("journal needs at least one shard")
+        if fsync_batch < 1:
+            raise ServiceError("journal fsync batch must be at least 1")
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._shards = shards
+        self._fsync_batch = fsync_batch
+        self._closed = False
+
+        recovered = self._scan_existing()
+        self._recovered_files = [path for path, _ in recovered]
+        self.pending_records = self._dedup(
+            [record for _, records in recovered for record in records]
+        )
+        epochs = [
+            int(match.group(2))
+            for path, _ in recovered
+            if (match := _FILE_PATTERN.match(path.name)) is not None
+        ]
+        self._epoch = (max(epochs) + 1) if epochs else 1
+
+        self._files: List[IO[str]] = []
+        self._paths: List[Path] = []
+        self._sequences = [0] * shards
+        self._unsynced = [0] * shards
+        for shard in range(shards):
+            path = self._directory / f"shard-{shard}.e{self._epoch}.wal"
+            self._paths.append(path)
+            self._files.append(path.open("a", encoding="utf-8"))
+        self.appended = 0
+        # JSON-encoded object ids, cached per emitter: the hot append path
+        # runs once per event and json.dumps dominates its cost otherwise.
+        self._encoded_ids: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ scan
+    def _scan_existing(self) -> List[Tuple[Path, List[JournalRecord]]]:
+        found: List[Tuple[Path, List[JournalRecord]]] = []
+        for path in sorted(self._directory.glob("shard-*.wal")):
+            if _FILE_PATTERN.match(path.name) is None:
+                continue
+            records: List[JournalRecord] = []
+            with path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = JournalRecord.from_line(line)
+                    if record is not None:
+                        records.append(record)
+            found.append((path, records))
+        return found
+
+    @staticmethod
+    def _dedup(records: List[JournalRecord]) -> List[JournalRecord]:
+        seen: Dict[str, JournalRecord] = {}
+        for record in records:
+            # Keep-first: a replayed record re-journaled under its original
+            # origin must not double-count against the original.
+            seen.setdefault(record.origin, record)
+        return sorted(seen.values(), key=JournalRecord.sort_key)
+
+    # ---------------------------------------------------------------- append
+    def _write_line(self, shard: int, line: str) -> None:
+        if self._closed:
+            raise ServiceError("journal is closed")
+        handle = self._files[shard]
+        handle.write(line + "\n")
+        self.appended += 1
+        self._unsynced[shard] += 1
+        if self._unsynced[shard] >= self._fsync_batch:
+            handle.flush()
+            _sync_file(handle.fileno())
+            self._unsynced[shard] = 0
+
+    def _append(self, shard: int, record: JournalRecord) -> None:
+        self._write_line(shard, record.to_line())
+
+    def _next_origin(self, shard: int) -> str:
+        self._sequences[shard] += 1
+        return f"e{self._epoch}:{shard}:{self._sequences[shard]}"
+
+    def append_event(self, shard: int, object_id: str, point: SpatioTemporalPoint) -> str:
+        """Journal one accepted event; returns its origin id."""
+        origin = self._next_origin(shard)
+        x, y, t = point.x, point.y, point.t
+        if (
+            type(x) is float
+            and type(y) is float
+            and type(t) is float
+            and math.isfinite(x)
+            and math.isfinite(y)
+            and math.isfinite(t)
+        ):
+            # Fast path, byte-identical to JournalRecord.to_line(): origins
+            # only hold [e0-9:] characters and json encodes finite floats with
+            # float.__repr__, so only the object id needs real JSON encoding.
+            encoded = self._encoded_ids.get(object_id)
+            if encoded is None:
+                if len(self._encoded_ids) >= 4096:
+                    self._encoded_ids.clear()
+                encoded = self._encoded_ids[object_id] = json.dumps(object_id)
+            self._write_line(shard, f'["{origin}","event",{encoded},{x!r},{y!r},{t!r}]')
+        else:
+            self._append(
+                shard,
+                JournalRecord(
+                    origin=origin, kind="event", object_id=object_id, x=x, y=y, t=t
+                ),
+            )
+        return origin
+
+    def append_close(self, shard: int, object_id: str) -> str:
+        """Journal one explicit object close; returns its origin id."""
+        origin = self._next_origin(shard)
+        self._append(shard, JournalRecord(origin=origin, kind="close", object_id=object_id))
+        return origin
+
+    def append_replayed(self, shard: int, record: JournalRecord) -> None:
+        """Re-journal a recovered record, preserving its original origin."""
+        self._append(shard, record)
+
+    # ------------------------------------------------------------ durability
+    def sync(self) -> None:
+        """Flush and fsync every shard file with unsynced appends."""
+        if self._closed:
+            return
+        for shard, handle in enumerate(self._files):
+            if self._unsynced[shard]:
+                handle.flush()
+                _sync_file(handle.fileno())
+                self._unsynced[shard] = 0
+
+    def discard_recovered(self) -> None:
+        """Delete the previous epoch's files (after replay is re-journaled)."""
+        for path in self._recovered_files:
+            path.unlink(missing_ok=True)
+        self._recovered_files = []
+
+    def rotate(self) -> None:
+        """Drop the current epoch's files — the store now holds everything."""
+        if self._closed:
+            return
+        for shard, handle in enumerate(self._files):
+            handle.close()
+            self._paths[shard].unlink(missing_ok=True)
+            self._files[shard] = self._paths[shard].open("a", encoding="utf-8")
+            self._sequences[shard] = 0
+            self._unsynced[shard] = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.sync()
+        for shard, handle in enumerate(self._files):
+            handle.close()
+            # An empty file carries no recovery information; leaving it would
+            # only grow the next scan.
+            if self._sequences[shard] == 0:
+                self._paths[shard].unlink(missing_ok=True)
+        self._closed = True
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def directory(self) -> Path:
+        return self._directory

@@ -478,6 +478,46 @@ class ShardMetrics:
         self.open_sessions = registry.gauge(
             "service_open_sessions", help="Open per-object sessions in the shard", shard=shard
         )
+        self.errors = registry.counter(
+            "service_shard_errors_total",
+            help="Shard batches that failed while processing",
+            shard=shard,
+        )
+
+
+class FaultMetrics:
+    """Fault-tolerance signals: failures, retries, quarantine, WAL replay.
+
+    The unlabelled counters mirror the plain-integer counters on
+    :class:`~repro.faults.failures.FailureLog` one-to-one, so tests can
+    reconcile both against an injected :class:`~repro.faults.inject.FaultPlan`
+    exactly; ``failures_total`` additionally fans out by stage and failure
+    kind for dashboards.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.retries = registry.counter(
+            "retries_total", help="Per-trajectory retry attempts after a stage failure"
+        )
+        self.quarantined = registry.counter(
+            "quarantined_total", help="Trajectories dead-lettered to the quarantine table"
+        )
+        self.wal_replayed = registry.counter(
+            "wal_replayed_total", help="Ingest-journal records replayed during recovery"
+        )
+        self.worker_losses = registry.counter(
+            "worker_losses_total", help="Pool worker processes lost and recovered from"
+        )
+
+    def failure(self, stage: str, kind: str) -> None:
+        """Count one failure event, labelled by stage and exception kind."""
+        self.registry.counter(
+            "failures_total",
+            help="Stage failures by stage and exception kind",
+            stage=stage,
+            kind=kind,
+        ).inc()
 
 
 class StoreMetrics:

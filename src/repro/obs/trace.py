@@ -167,8 +167,12 @@ class TrajectoryTrace:
         """
         start = time.time()
         started = time.perf_counter()
+        status: Dict[str, object] = {}
         try:
             yield
+        except BaseException as error:
+            status = {"status": "error", "error": type(error).__name__}
+            raise
         finally:
             duration = time.perf_counter() - started
             profile.add(name, duration)
@@ -180,6 +184,7 @@ class TrajectoryTrace:
                     name=name,
                     start=start,
                     duration=duration,
+                    attributes=status,
                 )
             )
 

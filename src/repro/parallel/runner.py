@@ -38,6 +38,7 @@ from repro.engine.executors import (
     shard_by_object,  # noqa: F401  (re-exported for white-box tests)
 )
 from repro.engine.plan import Plan
+from repro.faults.failures import FailureLog
 from repro.parallel.context import GeoContext
 from repro.store.store import SemanticTrajectoryStore
 
@@ -111,6 +112,9 @@ class ParallelAnnotationRunner:
             self._engine_executor = SequentialExecutor(deferred_writeback=True)
         self._context: Optional[GeoContext] = None
         self._context_sources: Optional[AnnotationSources] = None
+        # One failure log per runner lifetime, shared across annotate_many
+        # calls, so quarantine/retry counters reconcile over the whole run.
+        self._failure_log = FailureLog(config.failure, store=store)
 
     # ------------------------------------------------------------- properties
     @property
@@ -144,6 +148,11 @@ class ParallelAnnotationRunner:
     def store(self) -> Optional[SemanticTrajectoryStore]:
         """The semantic trajectory store, when persistence is enabled."""
         return self._store
+
+    @property
+    def failure_log(self) -> FailureLog:
+        """Runner-lifetime failure reconciliation (retries, quarantines)."""
+        return self._failure_log
 
     @property
     def _pool(self) -> Optional[_FuturesProcessPool]:
@@ -226,7 +235,9 @@ class ParallelAnnotationRunner:
         trajectories = list(trajectories)
         if not trajectories:
             return []
-        plan = Plan.from_context(context, store=self._store, persist=persist)
+        plan = Plan.from_context(
+            context, store=self._store, persist=persist, failure_log=self._failure_log
+        )
         return self._engine_executor.run(plan, trajectories)
 
     # -------------------------------------------------------------- internals

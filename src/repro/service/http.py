@@ -172,6 +172,7 @@ class HttpIngestServer:
             if method == "GET" and path == "/metrics":
                 return 200, service.render_prometheus().encode("utf-8"), "text/plain; version=0.0.4"
             if method == "GET" and path == "/healthz":
+                failures = service.failure_log.snapshot()
                 return (
                     200,
                     {
@@ -180,6 +181,10 @@ class HttpIngestServer:
                         "events": service.stats.events,
                         "results": service.stats.results,
                         "open_sessions": service.open_session_count,
+                        "errors": service.stats.errors,
+                        "failures": failures["failures"],
+                        "quarantined": failures["quarantined"],
+                        "wal_replayed": failures["wal_replayed"],
                     },
                     "application/json",
                 )

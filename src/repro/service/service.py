@@ -36,17 +36,21 @@ enqueue order, which is what the parity tests pin down.
 from __future__ import annotations
 
 import asyncio
+import sqlite3
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.core.config import PipelineConfig
-from repro.core.errors import ConfigurationError, ServiceError
+from repro.core.errors import ConfigurationError, SemitriError, ServiceError
 from repro.core.pipeline import AnnotationSources, PipelineResult
 from repro.core.points import SpatioTemporalPoint
 from repro.engine.executors import MicroBatchExecutor
 from repro.engine.plan import Plan
+from repro.faults.failures import FailureLog
+from repro.faults.inject import FaultInjector
+from repro.faults.journal import IngestJournal
 from repro.obs.metrics import MetricsRegistry, ServiceMetrics, ShardMetrics
 from repro.parallel.context import GeoContext
 from repro.service.routing import ConsistentHashRing
@@ -63,6 +67,22 @@ _EVENT, _CLOSE, _EVICT = "event", "close", "evict"
 
 #: One queued item: (kind, object id or eviction target, point, enqueue time).
 _Item = Tuple[str, object, Optional[SpatioTemporalPoint], float]
+
+#: Exception types a shard batch may fail with that the service *handles*
+#: (counts, annotates with shard + object ids, routes through the failure
+#: policy).  Deliberately narrow — anything outside this tuple (MemoryError,
+#: KeyboardInterrupt, arbitrary C-extension crashes) propagates untouched.
+_BATCH_ERRORS = (
+    SemitriError,
+    sqlite3.Error,
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    ArithmeticError,
+    RuntimeError,
+    OSError,
+)
 
 
 @dataclass
@@ -85,7 +105,23 @@ class ServiceStats:
     """Micro-batches handed to shard executors."""
 
     errors: int = 0
-    """Shard batches that raised (their events are poisoned, never retried)."""
+    """Shard batches that failed while processing.
+
+    Each failure is annotated with its shard and object ids, counted in the
+    shard's metrics and routed through the failure policy (``fail_fast``
+    re-raises at drain; isolating policies keep the shard alive) — see
+    :attr:`AnnotationService.batch_failures` for the captured errors.
+    """
+
+    wal_appended: int = 0
+    """Operations journaled to the crash-safe ingest WAL."""
+
+    wal_replayed: int = 0
+    """Journal records replayed through the normal path during recovery."""
+
+    dedup_skipped: int = 0
+    """Replayed trajectories skipped at commit because the store already
+    holds them (the idempotency half of WAL recovery)."""
 
 
 class _ShardWorker:
@@ -156,6 +192,10 @@ class AnnotationService:
     on_result:
         Callback invoked on the event-loop thread for every sealed trajectory
         as it is collected.
+    fault_injector:
+        An explicit :class:`~repro.faults.inject.FaultInjector` for
+        deterministic chaos runs; defaults to whatever ``SEMITRI_FAULTS``
+        describes (disabled when unset).
     """
 
     def __init__(
@@ -165,6 +205,7 @@ class AnnotationService:
         store: Optional[SemanticTrajectoryStore] = None,
         persist: bool = False,
         on_result: Optional[Callable[[PipelineResult], None]] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if isinstance(sources, GeoContext):
             context = sources
@@ -189,6 +230,16 @@ class AnnotationService:
         self.registry = MetricsRegistry()
         self.metrics = ServiceMetrics(self.registry)
         self.stats = ServiceStats()
+        self._faults = fault_injector if fault_injector is not None else FaultInjector.from_env()
+        if store is not None and self._faults.enabled:
+            store.bind_faults(self._faults)
+        # One failure log for the whole service: shard threads record into it
+        # (it is thread-safe), but it is *not* bound to the store — shard
+        # threads must never touch the SQLite connection, so quarantines
+        # buffer until the drain flushes them on the event-loop thread.
+        self._failure_log = FailureLog(self._config.failure, registry=self.registry)
+        self._journal: Optional[IngestJournal] = None
+        self._batch_failures: List[ServiceError] = []
 
         # Each shard gets its share of the session budget; everything else
         # (annotators, indexes, config) is the shared snapshot's.  Shard plans
@@ -205,6 +256,8 @@ class AnnotationService:
                     sources=context.sources,
                     config=shard_config,
                     annotators=context.annotators,
+                    faults=self._faults,
+                    failure_log=self._failure_log,
                 ),
                 self.metrics.shard(index),
             )
@@ -276,15 +329,49 @@ class AnnotationService:
         """The shard index the router assigns to ``object_id``."""
         return self._ring.shard_for(object_id)
 
+    @property
+    def failure_log(self) -> FailureLog:
+        """The run-scoped failure log (counters, quarantine buffer)."""
+        return self._failure_log
+
+    @property
+    def quarantined_count(self) -> int:
+        """Trajectories the failure policy dead-lettered so far."""
+        return self._failure_log.quarantined
+
+    @property
+    def batch_failures(self) -> List[ServiceError]:
+        """Shard-batch failures captured so far (annotated with shard + objects)."""
+        return list(self._batch_failures)
+
+    @property
+    def journal(self) -> Optional[IngestJournal]:
+        """The crash-safe ingest journal, when ``service.journal_dir`` is set."""
+        return self._journal
+
     def render_prometheus(self) -> str:
         """Prometheus text exposition of the service registry."""
         return self.registry.render_prometheus()
 
     # --------------------------------------------------------------- lifecycle
     async def start(self) -> "AnnotationService":
-        """Create the shard queues, consumers and worker thread pool."""
+        """Create the shard queues, consumers and worker thread pool.
+
+        With ``config.service.journal_dir`` set, the crash-safe ingest
+        journal opens here — and if a previous service died with un-drained
+        events in that directory, they are **replayed through the normal
+        ingest path** before new traffic, re-journaled under their original
+        origin ids (so a crash mid-replay dedups instead of duplicating).
+        """
         if self._state != "new":
             raise ServiceError(f"cannot start a service in state {self._state!r}")
+        service_config = self._config.service
+        if service_config.journal_dir:
+            self._journal = IngestJournal(
+                service_config.journal_dir,
+                self._shard_count,
+                fsync_batch=service_config.journal_fsync_batch,
+            )
         self._queues = [
             asyncio.Queue(maxsize=self._queue_depth) for _ in range(self._shard_count)
         ]
@@ -296,7 +383,34 @@ class AnnotationService:
             for index in range(self._shard_count)
         ]
         self._state = "running"
+        if self._journal is not None and self._journal.pending_records:
+            await self._replay_journal()
         return self
+
+    async def _replay_journal(self) -> None:
+        """Feed a crashed predecessor's surviving WAL records back in."""
+        assert self._journal is not None
+        records = self._journal.pending_records
+        for record in records:
+            shard = self._ring.shard_for(record.object_id)
+            self._journal.append_replayed(shard, record)
+            now = time.perf_counter()
+            if record.kind == "event":
+                await self._enqueue(
+                    self._queues[shard], (_EVENT, record.object_id, record.point(), now)
+                )
+                self.stats.events += 1
+            else:
+                await self._enqueue(
+                    self._queues[shard], (_CLOSE, record.object_id, None, now)
+                )
+                self.stats.closed_objects += 1
+        # Only after every record is safely re-journaled may the recovered
+        # files go; a crash in between replays from the re-journaled copies.
+        self._journal.sync()
+        self._journal.discard_recovered()
+        self.stats.wal_replayed += len(records)
+        self._failure_log.record_wal_replayed(len(records))
 
     async def __aenter__(self) -> "AnnotationService":
         return await self.start()
@@ -329,25 +443,50 @@ class AnnotationService:
         ]
         for sealed in await asyncio.gather(*closes):
             self._collect(sealed)
+        if self._journal is not None:
+            self._journal.sync()
         if self._persist:
-            self._commit_results()
+            self._commit_with_policy()
+        if self._store is not None:
+            self._failure_log.flush_to_store(self._store)
+        if self._journal is not None:
+            # The store now durably holds everything the journal covered; a
+            # failed commit raises above and keeps the journal for recovery.
+            self._journal.rotate()
         self._state = "drained"
         return self.results
 
     async def shutdown(self) -> List[PipelineResult]:
-        """Drain (if still running) and release the worker thread pool."""
-        results = await self.drain() if self._state in ("running", "draining") else self.results
+        """Drain (if still running) and release the worker thread pool.
+
+        A service stuck in ``"draining"`` means a previous :meth:`drain`
+        raised part-way (fail-fast batch or commit failure); shutdown then
+        just releases resources so the original exception propagates instead
+        of being masked by a "cannot drain" error.  The journal is *not*
+        rotated on that path — the WAL stays on disk for recovery.
+        """
+        results = await self.drain() if self._state == "running" else self.results
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
         self._state = "closed"
         return results
 
     # -------------------------------------------------------------------- feed
     async def ingest(self, object_id: str, point: SpatioTemporalPoint) -> None:
-        """Feed one event; awaits (never drops) when the shard queue is full."""
-        queue = self._intake_queue(object_id)
-        await self._enqueue(queue, (_EVENT, object_id, point, time.perf_counter()))
+        """Feed one event; awaits (never drops) when the shard queue is full.
+
+        With the ingest journal enabled the event is journaled *before* it is
+        enqueued — once this call returns, a crashed service replays it.
+        """
+        shard = self._intake_shard(object_id)
+        if self._journal is not None:
+            self._journal.append_event(shard, object_id, point)
+            self.stats.wal_appended += 1
+        await self._enqueue(self._queues[shard], (_EVENT, object_id, point, time.perf_counter()))
         self.stats.events += 1
 
     async def ingest_many(
@@ -366,8 +505,11 @@ class AnnotationService:
         The close rides the shard queue behind the object's queued events, so
         it takes effect exactly where the emitter hung up.
         """
-        queue = self._intake_queue(object_id)
-        await self._enqueue(queue, (_CLOSE, object_id, None, time.perf_counter()))
+        shard = self._intake_shard(object_id)
+        if self._journal is not None:
+            self._journal.append_close(shard, object_id)
+            self.stats.wal_appended += 1
+        await self._enqueue(self._queues[shard], (_CLOSE, object_id, None, time.perf_counter()))
         self.stats.closed_objects += 1
 
     async def evict_sessions(self, target_per_shard: int) -> None:
@@ -389,13 +531,13 @@ class AnnotationService:
         self.metrics.sessions_evicted.inc(max(0, self.sessions_evicted - before))
 
     # --------------------------------------------------------------- internals
-    def _intake_queue(self, object_id: str) -> "asyncio.Queue[object]":
+    def _intake_shard(self, object_id: str) -> int:
         if self._state != "running":
             raise ServiceError(
                 f"cannot ingest on a service in state {self._state!r}; "
                 "start() it first (or stop feeding after drain())"
             )
-        return self._queues[self._ring.shard_for(object_id)]
+        return self._ring.shard_for(object_id)
 
     async def _enqueue(self, queue: "asyncio.Queue[object]", item: _Item) -> None:
         if queue.full():
@@ -430,11 +572,28 @@ class AnnotationService:
             self.stats.batches += 1
             try:
                 sealed = await loop.run_in_executor(self._pool, worker.process, batch)
-            except Exception:
-                # The batch is poisoned (its session pass already consumed
-                # the events); count it and keep the shard alive for the
-                # other objects rather than wedging the whole queue.
+            except _BATCH_ERRORS as error:
+                # Per-trajectory failures are already isolated inside the
+                # executor (retry/quarantine per the failure policy); an
+                # error escaping a whole batch is infrastructure-level.
+                # Count it, attach shard + object ids, and route it through
+                # the policy: fail_fast surfaces it at drain, isolating
+                # policies keep the shard alive for the other objects (a
+                # batch replay would be unsafe — the session pass already
+                # consumed some events; the WAL still holds them).
                 self.stats.errors += 1
+                metrics.errors.inc()
+                object_ids = sorted(
+                    {str(item[1]) for item in batch if item[0] in (_EVENT, _CLOSE)}
+                )
+                self._failure_log.record_failure("shard_batch", type(error).__name__)
+                failure = ServiceError(
+                    f"shard {index} failed a batch of {len(batch)} items "
+                    f"(objects {object_ids}): {error!r}"
+                )
+                self._batch_failures.append(failure)
+                if not self._config.failure.isolates:
+                    raise failure from error
                 continue
             finished = time.perf_counter()
             for _, _, _, enqueued in batch:
@@ -450,12 +609,47 @@ class AnnotationService:
             if self._on_result is not None:
                 self._on_result(result)
 
+    def _commit_with_policy(self) -> None:
+        """Commit results, retrying per the failure policy.
+
+        A failed commit rolls back inside the store (see
+        ``SemanticTrajectoryStore._commit``), so a retry re-sends the exact
+        same batch; under ``fail_fast``/``skip`` the first failure raises and
+        the journal (kept by :meth:`drain`) covers recovery.
+        """
+        policy = self._config.failure
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                self._commit_results()
+                return
+            except Exception as error:
+                retryable = policy.mode == "retry" and attempt <= policy.max_retries
+                self._failure_log.record_failure(
+                    "service_commit", type(error).__name__, retried=retryable
+                )
+                if not retryable:
+                    raise
+                time.sleep(policy.backoff(attempt))
+
     def _commit_results(self) -> None:
         assert self._store is not None
         ordered = sorted(
             range(len(self._results)), key=lambda position: self._order[position]
         )
-        self._store.save_annotated_trajectories(
-            (self._results[position].trajectory, self._results[position].episodes)
-            for position in ordered
-        )
+        # WAL-replay idempotency: a crash after commit but before the journal
+        # rotated replays already-committed trajectories; skip anything the
+        # store has, so recovery never duplicates rows.
+        fresh = []
+        skipped = 0
+        for position in ordered:
+            result = self._results[position]
+            if self._store.has_trajectory(result.trajectory.trajectory_id):
+                skipped += 1
+                continue
+            fresh.append((result.trajectory, result.episodes))
+        self._store.save_annotated_trajectories(fresh)
+        # Counted only after a successful save, so commit retries do not
+        # double-count the same skips.
+        self.stats.dedup_skipped += skipped

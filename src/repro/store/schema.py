@@ -7,6 +7,12 @@ Four tables mirror the paper's dedicated PostGIS tables:
 * ``episodes``         — stop/move episodes with their point range and times;
 * ``annotations``      — annotations attached to episodes (place links and
   value annotations), one row per annotation.
+
+A fifth, operational table backs the fault-tolerance layer:
+
+* ``quarantine``       — dead-lettered trajectories the failure policy gave
+  up on, carrying the failing stage, the exception repr, the attempt count
+  and the raw GPS events (JSON) so a fixed pipeline can replay them.
 """
 
 from __future__ import annotations
@@ -62,9 +68,22 @@ SCHEMA_STATEMENTS: Tuple[str, ...] = (
         FOREIGN KEY (episode_id) REFERENCES episodes(episode_id)
     )
     """,
+    """
+    CREATE TABLE IF NOT EXISTS quarantine (
+        quarantine_id  INTEGER PRIMARY KEY AUTOINCREMENT,
+        object_id      TEXT NOT NULL,
+        trajectory_id  TEXT NOT NULL,
+        stage          TEXT NOT NULL,
+        error          TEXT NOT NULL,
+        attempts       INTEGER NOT NULL,
+        quarantined_at REAL NOT NULL,
+        events         TEXT NOT NULL
+    )
+    """,
     "CREATE INDEX IF NOT EXISTS idx_gps_trajectory ON gps_records(trajectory_id)",
     "CREATE INDEX IF NOT EXISTS idx_episodes_trajectory ON episodes(trajectory_id)",
     "CREATE INDEX IF NOT EXISTS idx_episodes_kind ON episodes(kind)",
     "CREATE INDEX IF NOT EXISTS idx_annotations_episode ON annotations(episode_id)",
     "CREATE INDEX IF NOT EXISTS idx_annotations_category ON annotations(category)",
+    "CREATE INDEX IF NOT EXISTS idx_quarantine_object ON quarantine(object_id)",
 )

@@ -8,7 +8,9 @@ path for durable storage.
 
 from __future__ import annotations
 
+import json
 import sqlite3
+import time
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.annotations import Annotation, GeographicReferenceAnnotation, ValueAnnotation
@@ -17,7 +19,9 @@ from repro.core.errors import StoreError
 from repro.core.points import RawTrajectory, SpatioTemporalPoint
 from repro.store.schema import SCHEMA_STATEMENTS
 
-if TYPE_CHECKING:  # pragma: no cover - metrics are optional at runtime
+if TYPE_CHECKING:  # pragma: no cover - metrics and faults are optional at runtime
+    from repro.faults.failures import TrajectoryFailure
+    from repro.faults.inject import FaultInjector
     from repro.obs.metrics import MetricsRegistry, StoreMetrics
 
 
@@ -43,6 +47,7 @@ class SemanticTrajectoryStore:
         self._tx_depth = 0
         self._tx_failed = False
         self._metrics: Optional["StoreMetrics"] = None
+        self._faults: Optional["FaultInjector"] = None
 
     def bind_metrics(self, registry: "MetricsRegistry") -> None:
         """Publish transaction and row counters into a metrics registry.
@@ -53,6 +58,21 @@ class SemanticTrajectoryStore:
         from repro.obs.metrics import StoreMetrics  # deferred: keep store import light
 
         self._metrics = StoreMetrics(registry)
+
+    def bind_faults(self, injector: "FaultInjector") -> None:
+        """Arm commit-time fault injection (chaos runs only).
+
+        Called by :meth:`Plan.compile` when an enabled injector is in play;
+        every commit first consults the injector, which may raise
+        :class:`~repro.core.errors.InjectedFault` instead.  The failed commit
+        is rolled back, so a retry re-executes the writes from scratch
+        without duplicating rows.
+        """
+        self._faults = injector
+
+    def _fire_commit_fault(self) -> None:
+        if self._faults is not None:
+            self._faults.on_commit()
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -84,7 +104,14 @@ class SemanticTrajectoryStore:
                 # persist an inconsistent prefix, so refuse loudly instead.
                 raise StoreError("transaction scope failed earlier; rolled back")
         else:
-            self._connection.commit()
+            try:
+                self._fire_commit_fault()
+                self._connection.commit()
+            except Exception:
+                self._connection.rollback()
+                if self._metrics is not None:
+                    self._metrics.rollbacks.inc()
+                raise
             if self._metrics is not None:
                 self._metrics.commits.inc()
 
@@ -97,7 +124,14 @@ class SemanticTrajectoryStore:
     def _commit(self) -> None:
         """Commit now, unless a surrounding scope defers it to scope exit."""
         if self._tx_depth == 0:
-            self._connection.commit()
+            try:
+                self._fire_commit_fault()
+                self._connection.commit()
+            except Exception:
+                self._connection.rollback()
+                if self._metrics is not None:
+                    self._metrics.rollbacks.inc()
+                raise
             if self._metrics is not None:
                 self._metrics.commits.inc()
 
@@ -214,6 +248,95 @@ class SemanticTrajectoryStore:
         if self._metrics is not None:
             self._metrics.observe_write(len(rows))
 
+    # -------------------------------------------------------------- quarantine
+    def save_quarantined(self, failures: Iterable["TrajectoryFailure"]) -> List[int]:
+        """Dead-letter failed trajectories; returns their quarantine row ids.
+
+        Each row carries the failing stage, the exception repr, the attempt
+        count and the **raw GPS events** (JSON ``[[x, y, t], ...]``) so a
+        fixed pipeline can replay the trajectory later
+        (:meth:`load_quarantined_trajectory`).  Callers quarantine *outside*
+        transaction scopes (a rolled-back drain must not take the dead
+        letters down with it), so the rows commit immediately.
+        """
+        cursor = self._connection.cursor()
+        row_ids: List[int] = []
+        rows = 0
+        try:
+            for failure in failures:
+                trajectory = failure.trajectory
+                cursor.execute(
+                    "INSERT INTO quarantine (object_id, trajectory_id, stage, error, "
+                    "attempts, quarantined_at, events) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        trajectory.object_id,
+                        trajectory.trajectory_id,
+                        failure.stage,
+                        failure.error,
+                        failure.attempts,
+                        time.time(),
+                        json.dumps([[p.x, p.y, p.t] for p in trajectory]),
+                    ),
+                )
+                row_ids.append(int(cursor.lastrowid))
+                rows += 1
+        except sqlite3.Error:
+            self._rollback()
+            raise
+        self._commit()
+        if self._metrics is not None and rows:
+            self._metrics.observe_write(rows)
+        return row_ids
+
+    def quarantine_count(self) -> int:
+        """Number of quarantined trajectories."""
+        return self._scalar("SELECT COUNT(*) FROM quarantine")
+
+    def quarantined(self, object_id: Optional[str] = None) -> List[Dict[str, object]]:
+        """Quarantine rows (as dictionaries), optionally for one object."""
+        query = (
+            "SELECT quarantine_id, object_id, trajectory_id, stage, error, attempts, "
+            "quarantined_at, events FROM quarantine"
+        )
+        params: Tuple = ()
+        if object_id is not None:
+            query += " WHERE object_id = ?"
+            params = (object_id,)
+        rows = self._connection.execute(query + " ORDER BY quarantine_id", params).fetchall()
+        keys = (
+            "quarantine_id",
+            "object_id",
+            "trajectory_id",
+            "stage",
+            "error",
+            "attempts",
+            "quarantined_at",
+            "events",
+        )
+        return [dict(zip(keys, row)) for row in rows]
+
+    def load_quarantined_trajectory(self, quarantine_id: int) -> RawTrajectory:
+        """Rebuild the raw trajectory a quarantine row carries, for replay."""
+        row = self._connection.execute(
+            "SELECT object_id, trajectory_id, events FROM quarantine WHERE quarantine_id = ?",
+            (quarantine_id,),
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"unknown quarantine row {quarantine_id}")
+        points = [SpatioTemporalPoint(x, y, t) for x, y, t in json.loads(row[2])]
+        if not points:
+            raise StoreError(f"quarantine row {quarantine_id} carries no events")
+        return RawTrajectory(points, object_id=row[0], trajectory_id=row[1])
+
+    def release_quarantined(self, quarantine_id: int) -> None:
+        """Delete one quarantine row (after a successful replay)."""
+        cursor = self._connection.execute(
+            "DELETE FROM quarantine WHERE quarantine_id = ?", (quarantine_id,)
+        )
+        if cursor.rowcount == 0:
+            raise StoreError(f"unknown quarantine row {quarantine_id}")
+        self._commit()
+
     @staticmethod
     def _write_trajectory(
         cursor: sqlite3.Cursor, trajectory: RawTrajectory, store_points: bool
@@ -320,6 +443,14 @@ class SemanticTrajectoryStore:
     def annotation_count(self) -> int:
         """Number of stored annotations."""
         return self._scalar("SELECT COUNT(*) FROM annotations")
+
+    def has_trajectory(self, trajectory_id: str) -> bool:
+        """Whether a trajectory is already committed (WAL-replay dedup)."""
+        return bool(
+            self._scalar(
+                "SELECT COUNT(*) FROM trajectories WHERE trajectory_id = ?", (trajectory_id,)
+            )
+        )
 
     def load_trajectory(self, trajectory_id: str) -> RawTrajectory:
         """Reconstruct a raw trajectory from its stored GPS records."""
