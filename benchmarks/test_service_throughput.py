@@ -2,23 +2,29 @@
 
 Replays the car benchmark dataset — every car a concurrent emitter, raw
 per-object point streams — through the asyncio :class:`AnnotationService` at
-full speed (no pacing) for one and for several shards, and reports:
+full speed (no pacing) across a matrix of legs:
 
-* sustained events/second from first enqueue to drain completion (including
-  the drain-time close-out of every open session);
-* p50/p99 enqueue-to-absorbed latency from the service's own histogram;
-* backpressure waits and (asserted-zero) dropped events;
-* canonical-bytes parity of the drained output against the sequential
-  pipeline on the same streams — the benchmark refuses to publish a number
-  for output it cannot prove correct.
+* thread transport at 1, 2 and 4 shards (the GIL-bound tier; the
+  regression-gated metric is the single-shard events/s,
+  ``events_per_s_1shard``, which tracks real per-event cost);
+* process transport at 1 and 4 shards (one worker process per shard,
+  zero-copy shared :class:`GeoContext`, batched pipe IPC) — gated
+  ``4-shard >= 1.5x 1-shard`` only when the runner actually has >= 4
+  effective cores, recorded honestly otherwise;
+* a single-shard thread leg with the crash-safe ingest journal enabled,
+  recording the WAL overhead percentage (informational, not gated).
 
-Shards run on threads, so like the parallel-scaling benchmark the multi-shard
-number is recorded honestly rather than gated on a 1-core container: the
-regression-gated metric is the single-shard events/s (``events_per_s_1shard``),
-which tracks real per-event cost; the multi-shard series lands in ``data``
-with the effective core count beside it.  A final single-shard leg re-runs
-with the crash-safe ingest journal enabled and records the WAL overhead
-percentage in ``data`` (informational, not gated).
+Timing protocol: one untimed warmup, then **best-of-3 with alternating
+legs** — every leg runs once per round, rounds repeat three times, and each
+leg keeps its fastest round.  A load spike on the (often 1-core) runner
+therefore degrades every leg's worst rounds equally instead of masquerading
+as a transport or journaling overhead.  Multi-shard thread fairness is
+asserted directly: the 2-shard p99 enqueue-to-absorbed latency must stay
+within 2x the 1-shard p99 (the historical failure mode was 10x).
+
+The benchmark refuses to publish a number for output it cannot prove
+correct: every leg's drained output is checked for canonical-bytes parity
+against the sequential pipeline on the same streams.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from benchmarks.conftest import save_result
 from repro.analytics.reporting import render_table
@@ -37,11 +43,27 @@ from repro.core.points import SpatioTemporalPoint
 from repro.parallel import GeoContext, canonical_bytes
 from repro.service import AnnotationService
 
-SHARD_COUNTS = (1, 2, 4)
+ROUNDS = 3
 GATED_SHARDS = 1
+#: Process scaling is only a promise where the cores exist to honour it.
+SCALING_GATE_MIN_CORES = 4
+SCALING_GATE_RATIO = 1.5
 
 
-def _service_config(base: PipelineConfig, shards: int) -> PipelineConfig:
+def _service_config(
+    base: PipelineConfig,
+    shards: int,
+    transport: str,
+    journal_dir: Optional[str] = None,
+) -> PipelineConfig:
+    overrides: Dict[str, object] = {
+        "service.shards": shards,
+        "service.queue_depth": 128,
+        "service.max_batch": 64,
+        "service.transport": transport,
+    }
+    if journal_dir is not None:
+        overrides["service.journal_dir"] = journal_dir
     return dataclasses.replace(
         base,
         identification=TrajectoryIdentificationConfig(
@@ -50,9 +72,7 @@ def _service_config(base: PipelineConfig, shards: int) -> PipelineConfig:
         # Cleaning stays ON: the sequential parity reference goes through
         # ``ingest_stream``, which always cleans, so the service must too.
         streaming=StreamingConfig(micro_batch_size=64, apply_cleaning=True),
-    ).with_overrides(
-        {"service.shards": shards, "service.queue_depth": 128, "service.max_batch": 64}
-    )
+    ).with_overrides(overrides)
 
 
 def _object_streams(trajectories) -> Dict[str, List[SpatioTemporalPoint]]:
@@ -82,118 +102,145 @@ async def _replay(service: AnnotationService, streams: Dict[str, List[SpatioTemp
         await service.drain()
 
 
-def test_service_throughput(benchmark, car_dataset, annotation_sources, tmp_path):
-    streams = _object_streams(car_dataset.trajectories)
-    total_events = sum(len(points) for points in streams.values())
-    measured: Dict[int, Dict[str, float]] = {}
-    wal_measured: Dict[str, float] = {}
-    parity_results = {}
+class _Leg:
+    """One benchmark configuration: its context, best timing, and parity data."""
 
-    def run_all():
-        for shards in SHARD_COUNTS:
-            config = _service_config(PipelineConfig.for_vehicles(), shards)
-            context = GeoContext.build(annotation_sources, config)
-            service = AnnotationService(context)
-            started = time.perf_counter()
-            asyncio.run(_replay(service, streams))
-            elapsed = time.perf_counter() - started
-            assert service.dropped_events == 0 and service.stats.errors == 0
-            latency = service.metrics.ingest_latency
-            measured[shards] = {
+    def __init__(self, name: str, config: PipelineConfig, sources, wal_events: int = 0):
+        self.name = name
+        self.config = config
+        self.context = GeoContext.build(sources, config)
+        self.wal_events = wal_events
+        self.best_elapsed = float("inf")
+        self.best_p99 = float("inf")
+        self.stats: Dict[str, float] = {}
+        self.results: list = []
+
+    def run_once(self, streams: Dict[str, List[SpatioTemporalPoint]], total: int) -> None:
+        service = AnnotationService(self.context)
+        started = time.perf_counter()
+        asyncio.run(_replay(service, streams))
+        elapsed = time.perf_counter() - started
+        assert service.dropped_events == 0 and service.stats.errors == 0, self.name
+        if self.wal_events:
+            assert service.stats.wal_appended == self.wal_events, self.name
+        latency = service.metrics.ingest_latency
+        # The latency gate uses the best p99 seen over all rounds — like the
+        # elapsed best-of, one slow round must not fail a fairness assertion.
+        self.best_p99 = min(self.best_p99, latency.percentile(99.0))
+        if elapsed < self.best_elapsed:
+            self.best_elapsed = elapsed
+            self.stats = {
                 "elapsed_s": elapsed,
-                "events_per_s": total_events / elapsed,
+                "events_per_s": total / elapsed,
                 "p50_s": latency.percentile(50.0),
                 "p99_s": latency.percentile(99.0),
                 "backpressure_waits": float(service.stats.backpressure_waits),
                 "results": float(len(service.results)),
             }
-            parity_results[shards] = service.results
-        # WAL tax: the same single-shard run with the crash-safe ingest
-        # journal on (group commit at the default fsync batch).  The two legs
-        # alternate, best-of-3 each, so a load spike on the (1-core) runner
-        # cannot masquerade as journaling overhead.
-        plain_config = _service_config(PipelineConfig.for_vehicles(), GATED_SHARDS)
-        wal_config = plain_config.with_overrides(
-            {"service.journal_dir": str(tmp_path / "wal")}
+        self.results = service.results
+
+
+def test_service_throughput(benchmark, car_dataset, annotation_sources, tmp_path):
+    streams = _object_streams(car_dataset.trajectories)
+    total_events = sum(len(points) for points in streams.values())
+    base = PipelineConfig.for_vehicles()
+    cores = effective_cpu_count()
+
+    legs = [
+        _Leg("thread-1", _service_config(base, 1, "thread"), annotation_sources),
+        _Leg("thread-2", _service_config(base, 2, "thread"), annotation_sources),
+        _Leg("thread-4", _service_config(base, 4, "thread"), annotation_sources),
+        _Leg("process-1", _service_config(base, 1, "process"), annotation_sources),
+        _Leg("process-4", _service_config(base, 4, "process"), annotation_sources),
+        _Leg(
+            "thread-1+wal",
+            _service_config(base, 1, "thread", journal_dir=str(tmp_path / "wal")),
+            annotation_sources,
+            wal_events=total_events + len(streams),
+        ),
+    ]
+    by_name = {leg.name: leg for leg in legs}
+
+    def run_all():
+        # Untimed warmup primes imports, page cache and the spawn machinery
+        # so round 1 of the alternating protocol starts from a steady state.
+        _Leg("warmup", _service_config(base, 1, "thread"), annotation_sources).run_once(
+            streams, total_events
         )
-        plain_context = GeoContext.build(annotation_sources, plain_config)
-        wal_context = GeoContext.build(annotation_sources, wal_config)
-        plain_best = measured[GATED_SHARDS]["elapsed_s"]
-        wal_best = float("inf")
-        for _ in range(3):
-            for context, with_wal in ((plain_context, False), (wal_context, True)):
-                service = AnnotationService(context)
-                started = time.perf_counter()
-                asyncio.run(_replay(service, streams))
-                elapsed = time.perf_counter() - started
-                assert service.dropped_events == 0 and service.stats.errors == 0
-                if with_wal:
-                    assert service.stats.wal_appended == total_events + len(streams)
-                    wal_best = min(wal_best, elapsed)
-                else:
-                    plain_best = min(plain_best, elapsed)
-        if plain_best < measured[GATED_SHARDS]["elapsed_s"]:
-            measured[GATED_SHARDS]["elapsed_s"] = plain_best
-            measured[GATED_SHARDS]["events_per_s"] = total_events / plain_best
-        wal_measured.update(
-            {
-                "elapsed_s": wal_best,
-                "events_per_s": total_events / wal_best,
-                "wal_appended": float(total_events + len(streams)),
-                "overhead_pct": (wal_best / plain_best - 1.0) * 100.0,
-            }
-        )
-        return measured
+        for _ in range(ROUNDS):
+            for leg in legs:
+                leg.run_once(streams, total_events)
+        return {leg.name: leg.best_elapsed for leg in legs}
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    # Publish nothing we cannot prove: the drained output must be canonically
-    # identical to the sequential pipeline on the very same streams.
-    config = _service_config(PipelineConfig.for_vehicles(), 1)
-    context = GeoContext.build(annotation_sources, config)
-    pipeline = SeMiTriPipeline(config)
+    # Publish nothing we cannot prove: every leg's drained output must be
+    # canonically identical to the sequential pipeline on the same streams.
+    reference_leg = by_name["thread-1"]
+    pipeline = SeMiTriPipeline(reference_leg.config)
     sequential = []
     for object_id, points in streams.items():
         raw = pipeline.ingest_stream(points, object_id=object_id)
         sequential.extend(
-            pipeline.annotate_many(raw, annotation_sources, annotators=context.annotators)
+            pipeline.annotate_many(
+                raw, annotation_sources, annotators=reference_leg.context.annotators
+            )
         )
     by_sequential = {r.trajectory.trajectory_id: r for r in sequential}
-    for shards, results in parity_results.items():
-        by_service = {r.trajectory.trajectory_id: r for r in results}
-        assert set(by_service) == set(by_sequential), shards
+    for leg in legs:
+        by_service = {r.trajectory.trajectory_id: r for r in leg.results}
+        assert set(by_service) == set(by_sequential), leg.name
         for trajectory_id, expected in by_sequential.items():
-            assert canonical_bytes([by_service[trajectory_id]]) == canonical_bytes([expected])
+            assert canonical_bytes([by_service[trajectory_id]]) == canonical_bytes(
+                [expected]
+            ), (leg.name, trajectory_id)
+
+    # Multi-shard fairness (the p99 blow-up fix): adding a shard must not
+    # multiply tail latency.  5 ms of slack absorbs histogram granularity on
+    # sub-millisecond tails; the historical regression was 10x at 25 ms.
+    p99_1 = by_name["thread-1"].best_p99
+    p99_2 = by_name["thread-2"].best_p99
+    assert p99_2 <= 2.0 * p99_1 + 0.005, (
+        f"2-shard p99 {p99_2 * 1e3:.2f} ms blew past 2x the "
+        f"1-shard p99 {p99_1 * 1e3:.2f} ms"
+    )
+
+    # Process scaling: a hard promise only where the cores exist.  Below the
+    # threshold the ratio is recorded in the sidecar but not asserted.
+    process_ratio = (
+        by_name["process-4"].stats["events_per_s"]
+        / by_name["process-1"].stats["events_per_s"]
+    )
+    if cores >= SCALING_GATE_MIN_CORES:
+        assert process_ratio >= SCALING_GATE_RATIO, (
+            f"process transport scaled only {process_ratio:.2f}x from 1 to 4 "
+            f"shards on {cores} effective cores (need {SCALING_GATE_RATIO}x)"
+        )
+
+    wal_leg = by_name["thread-1+wal"]
+    wal_overhead_pct = (
+        wal_leg.best_elapsed / by_name["thread-1"].best_elapsed - 1.0
+    ) * 100.0
 
     rows = [
         [
-            f"{shards} shard{'s' if shards > 1 else ''}",
+            leg.name,
             total_events,
-            f"{values['events_per_s']:,.0f}",
-            f"{values['p50_s'] * 1e3:.2f}",
-            f"{values['p99_s'] * 1e3:.2f}",
-            int(values["backpressure_waits"]),
-            int(values["results"]),
+            f"{leg.stats['events_per_s']:,.0f}",
+            f"{leg.stats['p50_s'] * 1e3:.2f}",
+            f"{leg.stats['p99_s'] * 1e3:.2f}",
+            int(leg.stats["backpressure_waits"]),
+            int(leg.stats["results"]),
         ]
-        for shards, values in measured.items()
+        for leg in legs
     ]
-    rows.append(
-        [
-            "1 + WAL",
-            total_events,
-            f"{wal_measured['events_per_s']:,.0f}",
-            "-",
-            "-",
-            "-",
-            int(measured[GATED_SHARDS]["results"]),
-        ]
-    )
     text = render_table(
-        ["shards", "events", "events/s", "p50 ms", "p99 ms", "bp waits", "results"],
+        ["leg", "events", "events/s", "p50 ms", "p99 ms", "bp waits", "results"],
         rows,
         title=(
             f"Service ingest throughput — {len(streams)} emitters, "
-            f"{effective_cpu_count()} effective cores (output parity asserted)"
+            f"{cores} effective cores, best of {ROUNDS} alternating rounds "
+            "(output parity asserted)"
         ),
     )
     save_result(
@@ -202,18 +249,20 @@ def test_service_throughput(benchmark, car_dataset, annotation_sources, tmp_path
         data={
             "emitters": len(streams),
             "total_events": total_events,
-            "effective_cores": effective_cpu_count(),
+            "effective_cores": cores,
             "gated_shards": GATED_SHARDS,
-            "per_shards": {
-                str(shards): {key: value for key, value in values.items()}
-                for shards, values in measured.items()
-            },
-            # Journaling tax: single-shard run with the crash-safe ingest WAL
-            # (``service.journal_dir`` set, default fsync batch).  Informational
-            # — the gated metric stays the journal-off per-event cost.
-            "wal_1shard": dict(wal_measured),
+            "rounds": ROUNDS,
+            "legs": {leg.name: dict(leg.stats) for leg in legs},
+            "process_scaling_ratio_4v1": process_ratio,
+            "process_scaling_gated": cores >= SCALING_GATE_MIN_CORES,
+            # Journaling tax: single-shard thread run with the crash-safe
+            # ingest WAL (``service.journal_dir`` set, default fsync batch).
+            # Informational — the gated metric stays the journal-off cost.
+            "wal_overhead_pct": wal_overhead_pct,
         },
         metrics={
-            f"events_per_s_{GATED_SHARDS}shard": measured[GATED_SHARDS]["events_per_s"],
+            f"events_per_s_{GATED_SHARDS}shard": by_name["thread-1"].stats[
+                "events_per_s"
+            ],
         },
     )

@@ -91,6 +91,7 @@ def service_config(args: argparse.Namespace) -> PipelineConfig:
             "service.shards": args.shards,
             "service.queue_depth": args.queue_depth,
             "service.max_batch": args.max_batch,
+            "service.transport": args.transport,
             "failure.mode": args.failure_mode,
         }
     )
@@ -225,7 +226,8 @@ async def run_load(args: argparse.Namespace) -> Dict[str, object]:
         store.close()
     return {
         "stored_trajectories": stored,
-        "transport": "http" if args.http else "in-process",
+        "ingress": "http" if args.http else "in-process",
+        "transport": service.transport,
         "emitters": len(streams),
         "killed_emitters": len(killed),
         "shards": service.shard_count,
@@ -259,6 +261,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--shards", type=int, default=2, help="service shards (0 = auto)")
     parser.add_argument("--queue-depth", type=int, default=64, help="per-shard queue bound")
     parser.add_argument("--max-batch", type=int, default=32, help="events per shard batch")
+    parser.add_argument(
+        "--transport",
+        choices=["thread", "process", "auto"],
+        default="auto",
+        help="shard execution tier (auto = process on multi-core, thread otherwise)",
+    )
     parser.add_argument("--kill-fraction", type=float, default=0.0, help="fraction of emitters killed mid-stream")
     parser.add_argument(
         "--fault-plan",

@@ -573,6 +573,18 @@ class ServiceConfig:
     bounded crash window — well under 100 ms of events at sustained ingest
     rates — for throughput.  The journal always syncs at drain time."""
 
+    transport: str = "auto"
+    """Where shard executors run: ``"thread"`` keeps every shard's
+    :class:`~repro.engine.executors.MicroBatchExecutor` on the service's
+    thread pool (one process, GIL-serialized annotation work), ``"process"``
+    gives each shard its own worker process attached zero-copy to the shared
+    :class:`~repro.parallel.context.GeoContext` (events cross in batched
+    pre-encoded frames over pipes).  ``"auto"`` — the default — resolves to
+    ``"process"`` when :func:`repro.core.cpu.effective_cpu_count` sees more
+    than one core and to ``"thread"`` on a single-core allowance, where
+    worker processes would only add IPC cost (see
+    :attr:`resolved_transport`)."""
+
     def __post_init__(self) -> None:
         if self.shards < 0:
             raise ConfigurationError("shards must be at least 1 (or 0 for auto)")
@@ -586,6 +598,20 @@ class ServiceConfig:
             raise ConfigurationError("ring_replicas must be at least 1")
         if self.journal_fsync_batch < 1:
             raise ConfigurationError("journal_fsync_batch must be at least 1")
+        if self.transport not in ("thread", "process", "auto"):
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r}; expected 'thread', 'process' or 'auto'"
+            )
+        if self.transport == "process" and self.shards > 0:
+            from repro.core.cpu import effective_cpu_count
+
+            cores = effective_cpu_count()
+            if self.shards > 4 * cores:
+                raise ConfigurationError(
+                    f"transport='process' with {self.shards} shards oversubscribes "
+                    f"{cores} effective cores by more than 4x; lower shards or use "
+                    "transport='thread'"
+                )
 
     @property
     def resolved_shards(self) -> int:
@@ -596,6 +622,22 @@ class ServiceConfig:
 
             return effective_cpu_count()
         return self.shards
+
+    @property
+    def resolved_transport(self) -> str:
+        """The effective transport: ``transport``, with ``"auto"`` resolved.
+
+        ``auto`` picks ``"process"`` exactly when the affinity-aware core
+        count is greater than one — that is where per-shard worker processes
+        beat the GIL — and falls back to ``"thread"`` on a single-core
+        allowance, where the thread transport has the same parallelism (none)
+        without the IPC and spawn cost.
+        """
+        if self.transport != "auto":
+            return self.transport
+        from repro.core.cpu import effective_cpu_count
+
+        return "process" if effective_cpu_count() > 1 else "thread"
 
 
 @dataclass(frozen=True)

@@ -193,6 +193,18 @@ class FailureLog:
         with self._lock:
             return list(self._pending_store)
 
+    def drain_pending(self) -> List[TrajectoryFailure]:
+        """Pop the buffered quarantines (shard workers ship them to the parent).
+
+        Unlike :attr:`pending_quarantines` this *clears* the buffer: the
+        process transport's workers call it after every frame so dead letters
+        stream to the parent incrementally, which then quarantines them on its
+        own log (the single counting point per the module counting rule).
+        """
+        with self._lock:
+            pending, self._pending_store = self._pending_store, []
+        return pending
+
     def snapshot(self) -> dict:
         """Counter snapshot for health endpoints and test assertions."""
         with self._lock:

@@ -462,7 +462,12 @@ class ServiceMetrics:
 
 
 class ShardMetrics:
-    """One ingest shard's series: queue depth, events, results, sessions."""
+    """One ingest shard's series: queue depth, events, results, sessions.
+
+    The process-transport series (worker pid, restarts, IPC frame/byte
+    counters) stay at their zero values under the thread transport — one
+    bundle serves both so dashboards need no transport-specific wiring.
+    """
 
     def __init__(self, registry: MetricsRegistry, index: int):
         shard = str(index)
@@ -481,6 +486,26 @@ class ShardMetrics:
         self.errors = registry.counter(
             "service_shard_errors_total",
             help="Shard batches that failed while processing",
+            shard=shard,
+        )
+        self.worker_pid = registry.gauge(
+            "service_worker_pid",
+            help="PID of the shard's worker process (process transport)",
+            shard=shard,
+        )
+        self.worker_restarts = registry.counter(
+            "service_worker_restarts_total",
+            help="Shard worker processes lost and respawned",
+            shard=shard,
+        )
+        self.ipc_frames = registry.counter(
+            "service_ipc_frames_total",
+            help="Batched event frames shipped to the shard worker",
+            shard=shard,
+        )
+        self.ipc_bytes = registry.counter(
+            "service_ipc_bytes_total",
+            help="Encoded frame bytes shipped to the shard worker",
             shard=shard,
         )
 

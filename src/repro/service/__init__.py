@@ -1,6 +1,6 @@
 """Annotation-as-a-service: asyncio ingest tier over the stage-graph engine.
 
-The package has three small parts:
+The package has four small parts:
 
 * :mod:`repro.service.routing` — consistent-hash placement of object ids on
   shards (stable across processes, elastic under resharding);
@@ -9,6 +9,10 @@ The package has three small parts:
   :class:`~repro.engine.executors.MicroBatchExecutor` instances with bounded
   queues, explicit backpressure, LRU session eviction and a drain path whose
   output is canonically identical to a sequential batch run;
+* :mod:`repro.service.workers` — the ``transport="process"`` execution tier:
+  one worker process per shard, attached zero-copy to the shared
+  :class:`~repro.parallel.context.GeoContext`, fed batched pre-encoded event
+  frames over pipes (this is what lets throughput scale past the GIL);
 * :mod:`repro.service.http` — an optional stdlib-only HTTP facade
   (``POST /ingest``, ``GET /metrics``, …) for emitters that speak JSON over
   a socket instead of calling into the process.

@@ -27,10 +27,26 @@ serialise behind one session registry:
   service-wide enqueue-to-absorbed latency histogram live in a PR 6
   :class:`~repro.obs.metrics.MetricsRegistry`, Prometheus rendering included.
 
-Shard executors run on a thread pool (one hand-off per micro-batch, one
-in-flight batch per shard), which keeps the event loop free for I/O and lets
-the numpy kernels overlap across shards; per-shard absorption order equals
-enqueue order, which is what the parity tests pin down.
+Where shard executors *run* is the ``config.service.transport`` knob:
+
+* ``"thread"`` — every shard's executor lives in this process on a thread
+  pool (one hand-off per micro-batch, one in-flight batch per shard).  The
+  event loop stays free for I/O, but the GIL serializes the annotation work
+  itself, so added shards buy isolation and fairness rather than throughput;
+* ``"process"`` — each shard's executor runs in its own worker process
+  (:mod:`repro.service.workers`), attached zero-copy to the parent's
+  :class:`~repro.parallel.context.GeoContext` (PR 7's shared-memory
+  machinery).  Events cross the boundary in batched pre-encoded frames over
+  ``multiprocessing`` pipes; a small reader task per shard streams sealed
+  results back incrementally, so ``on_result`` ordering, the latency
+  histogram and the drain-time deterministic commit are preserved.  A dead
+  worker is respawned and its journal prefix replayed (see
+  :meth:`AnnotationService._recover_shard`) — only proven poison objects are
+  quarantined;
+* ``"auto"`` — ``process`` on multi-core hosts, ``thread`` on a single core.
+
+Either way, per-shard absorption order equals enqueue order, which is what
+the cross-transport parity tests pin down.
 """
 
 from __future__ import annotations
@@ -40,20 +56,22 @@ import sqlite3
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Callable, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.config import PipelineConfig
 from repro.core.errors import ConfigurationError, SemitriError, ServiceError
 from repro.core.pipeline import AnnotationSources, PipelineResult
-from repro.core.points import SpatioTemporalPoint
-from repro.engine.executors import MicroBatchExecutor
+from repro.core.points import RawTrajectory, SpatioTemporalPoint
+from repro.engine.executors import MicroBatchExecutor, _pool_mp_context
 from repro.engine.plan import Plan
-from repro.faults.failures import FailureLog
+from repro.faults.failures import FailureEvent, FailureLog, TrajectoryFailure
 from repro.faults.inject import FaultInjector
-from repro.faults.journal import IngestJournal
+from repro.faults.journal import IngestJournal, JournalRecord
 from repro.obs.metrics import MetricsRegistry, ServiceMetrics, ShardMetrics
 from repro.parallel.context import GeoContext
+from repro.parallel.shared import SharedContextSpec, SharedGeoContext, share_context
 from repro.service.routing import ConsistentHashRing
+from repro.service.workers import DRAIN_FRAME, ShardProcessHandle
 from repro.store.store import SemanticTrajectoryStore
 
 __all__ = ["AnnotationService", "ServiceStats"]
@@ -65,8 +83,26 @@ _STOP = object()
 #: so control respects the same ordering and backpressure as data).
 _EVENT, _CLOSE, _EVICT = "event", "close", "evict"
 
-#: One queued item: (kind, object id or eviction target, point, enqueue time).
-_Item = Tuple[str, object, Optional[SpatioTemporalPoint], float]
+#: One queued item: [kind, object id or eviction target, point, enqueue time].
+#: A (mutable) list, not a tuple: the enqueue timestamp is stamped by the
+#: queue itself at true insertion time (see :class:`_StampedQueue`).
+_Item = List[object]
+
+
+class _StampedQueue(asyncio.Queue):
+    """Bounded queue that stamps items with their true insertion time.
+
+    ``ingest`` may suspend on a full queue; stamping at ``_put`` (which only
+    runs once capacity is available) keeps producer backpressure wait out of
+    the enqueue-to-absorbed latency histogram — that wait is the *producer's*
+    admission delay and is already visible as ``backpressure_waits``.  The
+    ``_STOP`` sentinel is not a list and passes through unstamped.
+    """
+
+    def _put(self, item: object) -> None:
+        if type(item) is list:
+            item[3] = time.perf_counter()
+        super()._put(item)
 
 #: Exception types a shard batch may fail with that the service *handles*
 #: (counts, annotates with shard + object ids, routes through the failure
@@ -244,29 +280,51 @@ class AnnotationService:
         # Each shard gets its share of the session budget; everything else
         # (annotators, indexes, config) is the shared snapshot's.  Shard plans
         # never persist — the service commits at drain time, in one place.
-        per_shard_sessions = max(1, service_config.session_budget // self._shard_count)
+        self._transport = service_config.resolved_transport
+        self._per_shard_sessions = max(1, service_config.session_budget // self._shard_count)
+        self._shard_metrics = [self.metrics.shard(index) for index in range(self._shard_count)]
         shard_config = replace(
             self._config,
-            streaming=replace(self._config.streaming, max_sessions=per_shard_sessions),
+            streaming=replace(self._config.streaming, max_sessions=self._per_shard_sessions),
         )
-        self._workers = [
-            _ShardWorker(
-                index,
-                Plan.compile(
-                    sources=context.sources,
-                    config=shard_config,
-                    annotators=context.annotators,
-                    faults=self._faults,
-                    failure_log=self._failure_log,
-                ),
-                self.metrics.shard(index),
-            )
-            for index in range(self._shard_count)
-        ]
+        # Thread transport compiles the shard plans here, in-process.  The
+        # process transport compiles nothing in the parent — each worker
+        # process compiles its own plan against the attached snapshot.
+        self._workers = (
+            [
+                _ShardWorker(
+                    index,
+                    Plan.compile(
+                        sources=context.sources,
+                        config=shard_config,
+                        annotators=context.annotators,
+                        faults=self._faults,
+                        failure_log=self._failure_log,
+                    ),
+                    self._shard_metrics[index],
+                )
+                for index in range(self._shard_count)
+            ]
+            if self._transport == "thread"
+            else []
+        )
 
         self._queues: List["asyncio.Queue[object]"] = []
         self._consumers: List["asyncio.Task[None]"] = []
         self._pool: Optional[ThreadPoolExecutor] = None
+        # Process-transport state: one worker process + ack-reader task per
+        # shard, an IPC thread pool for the blocking pipe reads, and the
+        # shared-memory segment (when the start method would otherwise pickle
+        # the snapshot per worker).
+        self._handles: List[ShardProcessHandle] = []
+        self._reader_tasks: List["asyncio.Task[None]"] = []
+        self._ipc_pool: Optional[ThreadPoolExecutor] = None
+        self._shared: Optional[SharedGeoContext] = None
+        self._ready: List[asyncio.Event] = []
+        self._inflight: List[asyncio.Semaphore] = []
+        self._collected_ids: Set[str] = set()
+        self._poisoned: Set[str] = set()
+        self._closing = False
         self._results: List[PipelineResult] = []
         # (object id, collection sequence) per result: the deterministic sort
         # key of the drain-time store commit.  Within one object the sequence
@@ -297,8 +355,27 @@ class AnnotationService:
         return list(self._results)
 
     @property
+    def transport(self) -> str:
+        """The resolved execution transport: ``"thread"`` or ``"process"``."""
+        return self._transport
+
+    @property
+    def worker_pids(self) -> List[Optional[int]]:
+        """Per-shard worker PIDs (empty under the thread transport)."""
+        return [handle.pid for handle in self._handles]
+
+    @property
     def delivered_events(self) -> int:
-        """Events absorbed by shard executors (equals ``stats.events`` after drain)."""
+        """Events absorbed by shard executors (equals ``stats.events`` after drain).
+
+        Under the process transport, events belonging to a quarantined poison
+        object are *handled* by skipping them at the shard boundary; they
+        count as delivered so the no-drop ledger still closes.
+        """
+        if self._transport == "process":
+            return sum(
+                handle.events_absorbed + handle.poison_skipped for handle in self._handles
+            )
         return sum(worker.events_absorbed for worker in self._workers)
 
     @property
@@ -313,12 +390,20 @@ class AnnotationService:
 
     @property
     def open_session_count(self) -> int:
-        """Open per-object sessions across every shard."""
+        """Open per-object sessions across every shard.
+
+        Process transport: mirrored from the most recent worker acks, so the
+        value trails in-flight frames by at most ``max_inflight`` batches.
+        """
+        if self._transport == "process":
+            return sum(handle.open_sessions for handle in self._handles)
         return sum(worker.executor.open_session_count for worker in self._workers)
 
     @property
     def sessions_evicted(self) -> int:
         """Sessions closed by LRU budget pressure or explicit eviction."""
+        if self._transport == "process":
+            return sum(handle.sessions_evicted for handle in self._handles)
         return sum(worker.executor.sessions_evicted for worker in self._workers)
 
     def queue_depths(self) -> List[int]:
@@ -373,11 +458,35 @@ class AnnotationService:
                 fsync_batch=service_config.journal_fsync_batch,
             )
         self._queues = [
-            asyncio.Queue(maxsize=self._queue_depth) for _ in range(self._shard_count)
+            _StampedQueue(maxsize=self._queue_depth) for _ in range(self._shard_count)
         ]
-        self._pool = ThreadPoolExecutor(
-            max_workers=self._shard_count, thread_name_prefix="semitri-shard"
-        )
+        if self._transport == "process":
+            payload = self._worker_payload()
+            fault_plan = self._faults.plan.render() if self._faults.enabled else ""
+            for index in range(self._shard_count):
+                handle = ShardProcessHandle(
+                    index, payload, self._per_shard_sessions, fault_plan
+                )
+                handle.spawn()
+                self._shard_metrics[index].worker_pid.set(float(handle.pid or 0))
+                self._handles.append(handle)
+                ready = asyncio.Event()
+                ready.set()
+                self._ready.append(ready)
+                self._inflight.append(asyncio.Semaphore(ShardProcessHandle.max_inflight))
+            # One thread per shard for the blocking pipe reads; replay during
+            # recovery reuses the same slot its shard's reader vacated.
+            self._ipc_pool = ThreadPoolExecutor(
+                max_workers=self._shard_count, thread_name_prefix="semitri-ipc"
+            )
+            self._reader_tasks = [
+                asyncio.create_task(self._read_acks(index), name=f"semitri-ipc-{index}")
+                for index in range(self._shard_count)
+            ]
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._shard_count, thread_name_prefix="semitri-shard"
+            )
         self._consumers = [
             asyncio.create_task(self._consume(index), name=f"semitri-shard-{index}")
             for index in range(self._shard_count)
@@ -387,6 +496,25 @@ class AnnotationService:
             await self._replay_journal()
         return self
 
+    def _worker_payload(self) -> Union[SharedContextSpec, GeoContext]:
+        """What ships the snapshot to shard workers, mirroring PR 7's rule.
+
+        Shared memory is used exactly when the start method would otherwise
+        pickle the snapshot per worker (``parallel.shared_memory == "auto"``
+        off-fork, or ``"on"`` anywhere); under fork the context rides
+        copy-on-write inheritance, which is equally zero-copy with no segment
+        to manage.
+        """
+        start_method = _pool_mp_context().get_start_method()
+        shared_memory = self._config.parallel.shared_memory
+        use_shared = shared_memory == "on" or (
+            shared_memory == "auto" and start_method != "fork"
+        )
+        if use_shared:
+            self._shared = share_context(self._context)
+            return self._shared.spec
+        return self._context
+
     async def _replay_journal(self) -> None:
         """Feed a crashed predecessor's surviving WAL records back in."""
         assert self._journal is not None
@@ -394,15 +522,14 @@ class AnnotationService:
         for record in records:
             shard = self._ring.shard_for(record.object_id)
             self._journal.append_replayed(shard, record)
-            now = time.perf_counter()
             if record.kind == "event":
                 await self._enqueue(
-                    self._queues[shard], (_EVENT, record.object_id, record.point(), now)
+                    self._queues[shard], [_EVENT, record.object_id, record.point(), 0.0]
                 )
                 self.stats.events += 1
             else:
                 await self._enqueue(
-                    self._queues[shard], (_CLOSE, record.object_id, None, now)
+                    self._queues[shard], [_CLOSE, record.object_id, None, 0.0]
                 )
                 self.stats.closed_objects += 1
         # Only after every record is safely re-journaled may the recovered
@@ -436,13 +563,31 @@ class AnnotationService:
         for queue in self._queues:
             await queue.put(_STOP)
         await asyncio.gather(*self._consumers)
-        loop = asyncio.get_running_loop()
-        assert self._pool is not None
-        closes = [
-            loop.run_in_executor(self._pool, worker.drain) for worker in self._workers
-        ]
-        for sealed in await asyncio.gather(*closes):
-            self._collect(sealed)
+        if self._transport == "process":
+            # Ask every worker to close out its sessions.  The drain frame is
+            # FIFO behind any in-flight batches, so each worker seals in
+            # exactly the order it absorbed; the readers return once the
+            # drained ack lands (re-requested by recovery if a worker dies
+            # mid-drain).
+            for index, handle in enumerate(self._handles):
+                await self._ready[index].wait()
+                if not handle.drain_requested:
+                    self._request_drain(index)
+            await asyncio.gather(*self._reader_tasks)
+            self._reader_tasks = []
+            if self._batch_failures and not self._config.failure.isolates:
+                # Thread-transport fail_fast raises from the consumer; here
+                # batch errors arrive as acks, so the first one surfaces once
+                # everything in flight has settled.  The journal is kept.
+                raise self._batch_failures[0]
+        else:
+            loop = asyncio.get_running_loop()
+            assert self._pool is not None
+            closes = [
+                loop.run_in_executor(self._pool, worker.drain) for worker in self._workers
+            ]
+            for sealed in await asyncio.gather(*closes):
+                self._collect(sealed)
         if self._journal is not None:
             self._journal.sync()
         if self._persist:
@@ -465,10 +610,31 @@ class AnnotationService:
         of being masked by a "cannot drain" error.  The journal is *not*
         rotated on that path — the WAL stays on disk for recovery.
         """
+        self._closing = self._state != "running"
         results = await self.drain() if self._state == "running" else self.results
+        self._closing = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        # Error-path readers may still be waiting on acks that will never
+        # come; cancel them before tearing the pipes down.
+        for task in self._reader_tasks:
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(*self._reader_tasks, return_exceptions=True)
+            self._reader_tasks = []
+        # Handles are closed but kept: their mirrored counters back the
+        # post-shutdown ledger properties (delivered_events & co.), exactly
+        # like the thread transport's _ShardWorker list.
+        for handle in self._handles:
+            handle.close()
+        if self._ipc_pool is not None:
+            self._ipc_pool.shutdown(wait=True)
+            self._ipc_pool = None
+        if self._shared is not None:
+            # Workers are gone; unlinking the segment is safe now.
+            self._shared.close()
+            self._shared = None
         if self._journal is not None:
             self._journal.close()
             self._journal = None
@@ -486,7 +652,7 @@ class AnnotationService:
         if self._journal is not None:
             self._journal.append_event(shard, object_id, point)
             self.stats.wal_appended += 1
-        await self._enqueue(self._queues[shard], (_EVENT, object_id, point, time.perf_counter()))
+        await self._enqueue(self._queues[shard], [_EVENT, object_id, point, 0.0])
         self.stats.events += 1
 
     async def ingest_many(
@@ -509,7 +675,7 @@ class AnnotationService:
         if self._journal is not None:
             self._journal.append_close(shard, object_id)
             self.stats.wal_appended += 1
-        await self._enqueue(self._queues[shard], (_CLOSE, object_id, None, time.perf_counter()))
+        await self._enqueue(self._queues[shard], [_CLOSE, object_id, None, 0.0])
         self.stats.closed_objects += 1
 
     async def evict_sessions(self, target_per_shard: int) -> None:
@@ -525,7 +691,7 @@ class AnnotationService:
             raise ConfigurationError("target_per_shard must be non-negative")
         before = self.sessions_evicted
         for queue in self._queues:
-            await self._enqueue(queue, (_EVICT, target_per_shard, None, time.perf_counter()))
+            await self._enqueue(queue, [_EVICT, target_per_shard, None, 0.0])
         # Eviction is fire-and-forget by design; the counter below reflects
         # evictions already performed, not the ones just requested.
         self.metrics.sessions_evicted.inc(max(0, self.sessions_evicted - before))
@@ -549,17 +715,24 @@ class AnnotationService:
 
     async def _consume(self, index: int) -> None:
         queue = self._queues[index]
-        worker = self._workers[index]
-        metrics = worker.metrics
+        metrics = self._shard_metrics[index]
+        process_transport = self._transport == "process"
+        worker = self._workers[index] if not process_transport else None
         loop = asyncio.get_running_loop()
-        assert self._pool is not None
         stopping = False
         while not stopping:
             head = await queue.get()
             if head is _STOP:
                 break
+            # Fairness: drain adaptively — half the backlog per wake-up, at
+            # least 8 items, capped at max_batch — instead of greedily taking
+            # max_batch every time.  A lightly loaded shard hands the loop
+            # back quickly (other shards' consumers get scheduled, keeping
+            # their p99 flat); a saturated one still reaches full batches, so
+            # single-shard throughput is unaffected.
+            cap = min(self._max_batch, max(8, (queue.qsize() + 2) // 2))
             batch: List[_Item] = [head]  # type: ignore[list-item]
-            while len(batch) < self._max_batch:
+            while len(batch) < cap:
                 try:
                     item = queue.get_nowait()
                 except asyncio.QueueEmpty:
@@ -570,36 +743,362 @@ class AnnotationService:
                 batch.append(item)  # type: ignore[arg-type]
             metrics.queue_depth.set(queue.qsize())
             self.stats.batches += 1
+            if process_transport:
+                await self._ship_frame(index, batch)
+            else:
+                assert worker is not None and self._pool is not None
+                try:
+                    sealed = await loop.run_in_executor(self._pool, worker.process, batch)
+                except _BATCH_ERRORS as error:
+                    # Per-trajectory failures are already isolated inside the
+                    # executor (retry/quarantine per the failure policy); an
+                    # error escaping a whole batch is infrastructure-level.
+                    # Count it, attach shard + object ids, and route it
+                    # through the policy: fail_fast surfaces it at drain,
+                    # isolating policies keep the shard alive for the other
+                    # objects (a batch replay would be unsafe — the session
+                    # pass already consumed some events; the WAL still holds
+                    # them).
+                    self.stats.errors += 1
+                    metrics.errors.inc()
+                    object_ids = sorted(
+                        {str(item[1]) for item in batch if item[0] in (_EVENT, _CLOSE)}
+                    )
+                    self._failure_log.record_failure("shard_batch", type(error).__name__)
+                    failure = ServiceError(
+                        f"shard {index} failed a batch of {len(batch)} items "
+                        f"(objects {object_ids}): {error!r}"
+                    )
+                    self._batch_failures.append(failure)
+                    if not self._config.failure.isolates:
+                        raise failure from error
+                    continue
+                finished = time.perf_counter()
+                for item in batch:
+                    self.metrics.ingest_latency.observe(finished - item[3])  # type: ignore[operator]
+                self._collect(sealed)
+                metrics.queue_depth.set(queue.qsize())
+            # Yield between batches so co-resident consumers interleave even
+            # when this queue never goes empty.
+            await asyncio.sleep(0)
+
+    # ------------------------------------------------- process transport: IPC
+    async def _ship_frame(self, index: int, batch: List[_Item]) -> None:
+        """Encode one micro-batch and hand it to the shard's worker process.
+
+        ``sent_ops`` counts the batch's WAL-covered operations *before* the
+        frame leaves (poison-skips included), so a worker death at any point
+        is recovered by replaying exactly that journal prefix; a failed send
+        is therefore ignored here — the reader task notices the EOF.
+        """
+        handle = self._handles[index]
+        metrics = self._shard_metrics[index]
+        await self._inflight[index].acquire()
+        await self._ready[index].wait()
+        sendable: List[_Item] = []
+        times: List[float] = []
+        wal_ops = 0
+        now = time.perf_counter()
+        for item in batch:
+            kind = item[0]
+            if kind in (_EVENT, _CLOSE):
+                wal_ops += 1
+                if self._poisoned and str(item[1]) in self._poisoned:
+                    # Proven-poison objects are handled at the boundary: the
+                    # worker never sees them again, but they count as
+                    # delivered (and observed) so the ledger closes.
+                    if kind == _EVENT:
+                        handle.poison_skipped += 1
+                    self.metrics.ingest_latency.observe(now - item[3])  # type: ignore[operator]
+                    continue
+            sendable.append(item)
+            times.append(item[3])  # type: ignore[arg-type]
+        handle.sent_ops += wal_ops
+        if not sendable:
+            self._inflight[index].release()
+            return
+        frame = handle.encoder.encode_batch(sendable)
+        handle.pending.append((times, sum(1 for item in sendable if item[0] == _EVENT)))
+        metrics.ipc_frames.inc()
+        metrics.ipc_bytes.inc(len(frame))
+        try:
+            handle.send_frame(frame)
+        except OSError:
+            pass  # the worker died; recovery replays this frame from the WAL
+
+    def _request_drain(self, index: int) -> None:
+        """Send the drain control frame (re-sent by recovery if the ack dies)."""
+        handle = self._handles[index]
+        handle.drain_requested = True
+        try:
+            handle.send_frame(DRAIN_FRAME)
+        except OSError:
+            pass  # the reader's recovery path re-requests after respawn
+
+    async def _read_acks(self, index: int) -> None:
+        """Per-shard reader: stream worker acks back onto the event loop.
+
+        Runs until the worker's drained ack (normal end of life) or until
+        shutdown cancels it.  A pipe EOF while the service is live means the
+        worker died — recover it and keep reading.
+        """
+        loop = asyncio.get_running_loop()
+        handle = self._handles[index]
+        while True:
             try:
-                sealed = await loop.run_in_executor(self._pool, worker.process, batch)
-            except _BATCH_ERRORS as error:
-                # Per-trajectory failures are already isolated inside the
-                # executor (retry/quarantine per the failure policy); an
-                # error escaping a whole batch is infrastructure-level.
-                # Count it, attach shard + object ids, and route it through
-                # the policy: fail_fast surfaces it at drain, isolating
-                # policies keep the shard alive for the other objects (a
-                # batch replay would be unsafe — the session pass already
-                # consumed some events; the WAL still holds them).
-                self.stats.errors += 1
-                metrics.errors.inc()
-                object_ids = sorted(
-                    {str(item[1]) for item in batch if item[0] in (_EVENT, _CLOSE)}
-                )
-                self._failure_log.record_failure("shard_batch", type(error).__name__)
-                failure = ServiceError(
-                    f"shard {index} failed a batch of {len(batch)} items "
-                    f"(objects {object_ids}): {error!r}"
-                )
-                self._batch_failures.append(failure)
-                if not self._config.failure.isolates:
-                    raise failure from error
+                message = await loop.run_in_executor(self._ipc_pool, handle.recv)
+            except (EOFError, OSError):
+                if self._closing or self._state not in ("running", "draining"):
+                    return
+                await self._recover_shard(index)
                 continue
+            if message[0] == "drained":
+                self._apply_drained(index, message)
+                return
+            self._apply_ack(index, message, pop_pending=True)
+
+    def _apply_ack(
+        self, index: int, message: Tuple[object, ...], *, pop_pending: bool
+    ) -> None:
+        """Fold one ok/error ack into service state (also used by replay)."""
+        handle = self._handles[index]
+        metrics = self._shard_metrics[index]
+        times: List[float] = []
+        if pop_pending and handle.pending:
+            times, _ = handle.pending.pop(0)
+            self._inflight[index].release()
+        if message[0] == "ok":
+            _, results, absorbed, open_sessions, evicted, quarantines = message
+            handle.events_absorbed += absorbed  # type: ignore[operator]
+            handle.open_sessions = open_sessions  # type: ignore[assignment]
+            handle.sessions_evicted = evicted  # type: ignore[assignment]
+            metrics.events.inc(absorbed)  # type: ignore[arg-type]
+            metrics.results.inc(len(results))  # type: ignore[arg-type]
+            metrics.open_sessions.set(float(open_sessions))  # type: ignore[arg-type]
             finished = time.perf_counter()
-            for _, _, _, enqueued in batch:
+            for enqueued in times:
                 self.metrics.ingest_latency.observe(finished - enqueued)
-            self._collect(sealed)
-            metrics.queue_depth.set(queue.qsize())
+            self._absorb_quarantines(quarantines)  # type: ignore[arg-type]
+            self._collect_deduped(results)  # type: ignore[arg-type]
+            return
+        # ("error", kind, repr, object_ids, op_count, absorbed, open, evicted,
+        # quarantines): infrastructure-level batch failure, same policy
+        # routing as the thread transport's _BATCH_ERRORS branch — but the
+        # worker survived and already told us how far it got.
+        (_, kind_name, error_repr, object_ids, op_count, absorbed, open_sessions,
+         evicted, quarantines) = message
+        handle.events_absorbed += absorbed  # type: ignore[operator]
+        handle.open_sessions = open_sessions  # type: ignore[assignment]
+        handle.sessions_evicted = evicted  # type: ignore[assignment]
+        metrics.open_sessions.set(float(open_sessions))  # type: ignore[arg-type]
+        self.stats.errors += 1
+        metrics.errors.inc()
+        self._failure_log.record_failure("shard_batch", str(kind_name))
+        self._batch_failures.append(
+            ServiceError(
+                f"shard {index} failed a batch of {op_count} items "
+                f"(objects {object_ids}): {error_repr}"
+            )
+        )
+        self._absorb_quarantines(quarantines)  # type: ignore[arg-type]
+
+    def _apply_drained(self, index: int, message: Tuple[object, ...]) -> None:
+        """Fold the close-out ack (sealed rows of every open session) in."""
+        _, sealed, quarantines, evicted = message
+        handle = self._handles[index]
+        metrics = self._shard_metrics[index]
+        handle.open_sessions = 0
+        handle.sessions_evicted = evicted  # type: ignore[assignment]
+        metrics.results.inc(len(sealed))  # type: ignore[arg-type]
+        metrics.open_sessions.set(0.0)
+        self._absorb_quarantines(quarantines)  # type: ignore[arg-type]
+        self._collect_deduped(sealed)  # type: ignore[arg-type]
+
+    def _absorb_quarantines(self, quarantines: List[TrajectoryFailure]) -> None:
+        """Count worker-shipped dead letters on the parent's log.
+
+        The worker's own log is never read (module counting rule); the parent
+        quarantine is the single counting point, and it buffers the records
+        for the drain-time store flush.
+        """
+        for failure in quarantines:
+            self._failure_log.quarantine(failure)
+
+    def _collect_deduped(self, sealed: List[PipelineResult]) -> None:
+        """Collect worker results, keep-first across worker-loss replays.
+
+        A replayed journal prefix re-seals trajectories that were already
+        acked before the worker died; sealing is deterministic, so the
+        duplicate arrives under the same trajectory id and is dropped here.
+        Retried-then-successful results carry their failure history with
+        them — absorbed on first collection only.
+        """
+        fresh: List[PipelineResult] = []
+        for result in sealed:
+            trajectory_id = result.trajectory.trajectory_id
+            if trajectory_id is not None:
+                if trajectory_id in self._collected_ids:
+                    continue
+                self._collected_ids.add(trajectory_id)
+            self._failure_log.absorb_result(result)
+            fresh.append(result)
+        self._collect(fresh)
+
+    # -------------------------------------------- process transport: recovery
+    async def _recover_shard(self, index: int) -> None:
+        """Bring a dead shard worker back: respawn + WAL prefix replay.
+
+        The journal holds every event/close this shard accepted;
+        ``sent_ops`` says how many of them the dead worker had been handed.
+        Replaying exactly that prefix (in order) rebuilds the worker's
+        session state and re-seals whatever it had sealed — duplicates are
+        dropped at collection, so the recovered stream stays row-identical.
+        Without a journal the lost tail is unrecoverable: the loss is
+        recorded and routed through the failure policy.
+        """
+        handle = self._handles[index]
+        metrics = self._shard_metrics[index]
+        policy = self._config.failure
+        self._ready[index].clear()
+        self._failure_log.record_worker_loss()
+        metrics.worker_restarts.inc()
+        # Un-acked frames died with the worker; free their in-flight permits
+        # so the consumer (possibly blocked on one) can proceed once ready.
+        for _ in range(len(handle.pending)):
+            self._inflight[index].release()
+        if self._journal is None:
+            handle.sent_ops = 0
+            handle.respawn()
+            metrics.worker_pid.set(float(handle.pid or 0))
+            self.stats.errors += 1
+            metrics.errors.inc()
+            self._failure_log.record_failure("shard_worker", "WorkerLost")
+            self._batch_failures.append(
+                ServiceError(
+                    f"shard {index} worker died with no ingest journal; "
+                    "its un-acked events are lost (enable service.journal_dir "
+                    "for lossless worker recovery)"
+                )
+            )
+        else:
+            records = self._journal.records_for_shard(index)[: handle.sent_ops]
+            solo = handle.restarts + 1 > policy.max_shard_retries
+            handle.respawn()
+            metrics.worker_pid.set(float(handle.pid or 0))
+            replayed = await self._replay_prefix(index, records, solo=solo)
+            self.stats.wal_replayed += replayed
+            self._failure_log.record_wal_replayed(replayed)
+        self._ready[index].set()
+        if self._state == "draining" and handle.drain_requested:
+            self._request_drain(index)
+
+    async def _replay_prefix(
+        self, index: int, records: List[JournalRecord], solo: bool
+    ) -> int:
+        """Replay a journal prefix into a fresh worker; isolate proven poison.
+
+        Bulk replay first (one pass, batched).  If the replay itself kills
+        the fresh worker — or the shard has already exhausted
+        ``failure.max_shard_retries`` — fall back to object-by-object replay:
+        an object whose *solo* replay kills a fresh worker is proven poison,
+        quarantined, and skipped by all further intake; everything else is
+        replayed from scratch after each death (the dead worker's state is
+        gone).  Returns the number of records the live worker absorbed.
+        """
+        handle = self._handles[index]
+        metrics = self._shard_metrics[index]
+
+        def poison_events() -> int:
+            return sum(
+                1
+                for record in records
+                if record.kind == "event" and record.object_id in self._poisoned
+            )
+
+        handle.poison_skipped = poison_events()
+        clean = [r for r in records if r.object_id not in self._poisoned]
+        if not solo:
+            if not await self._replay_records(index, clean):
+                return len(clean)
+            # The replay itself killed the fresh worker: find the poison.
+            self._failure_log.record_worker_loss()
+            metrics.worker_restarts.inc()
+            handle.respawn()
+            metrics.worker_pid.set(float(handle.pid or 0))
+        by_object: Dict[str, List[JournalRecord]] = {}
+        order: List[str] = []
+        for record in clean:
+            if record.object_id not in by_object:
+                by_object[record.object_id] = []
+                order.append(record.object_id)
+            by_object[record.object_id].append(record)
+        while True:
+            survivors = [oid for oid in order if oid not in self._poisoned]
+            died_at: Optional[str] = None
+            for object_id in survivors:
+                if await self._replay_records(index, by_object[object_id]):
+                    died_at = object_id
+                    break
+            if died_at is None:
+                return sum(len(by_object[oid]) for oid in survivors)
+            self._failure_log.record_worker_loss()
+            metrics.worker_restarts.inc()
+            self._quarantine_poison(index, died_at, by_object[died_at])
+            handle.respawn()
+            metrics.worker_pid.set(float(handle.pid or 0))
+            handle.poison_skipped = poison_events()
+
+    async def _replay_records(self, index: int, records: List[JournalRecord]) -> bool:
+        """Feed records to the worker in lockstep batches; True if it died."""
+        handle = self._handles[index]
+        loop = asyncio.get_running_loop()
+        for start in range(0, len(records), self._max_batch):
+            chunk = records[start : start + self._max_batch]
+            items: List[_Item] = [
+                [_EVENT, record.object_id, record.point(), 0.0]
+                if record.kind == "event"
+                else [_CLOSE, record.object_id, None, 0.0]
+                for record in chunk
+            ]
+            frame = handle.encoder.encode_batch(items)
+            try:
+                handle.send_frame(frame)
+                message = await loop.run_in_executor(self._ipc_pool, handle.recv)
+            except (EOFError, OSError):
+                return True
+            # Replayed frames carry no live enqueue times (and no pending
+            # entry): counters and results fold in, latency is not observed.
+            self._apply_ack(index, message, pop_pending=False)
+        return False
+
+    def _quarantine_poison(
+        self, index: int, object_id: str, records: List[JournalRecord]
+    ) -> None:
+        """Dead-letter an object whose solo replay killed a fresh worker."""
+        self._poisoned.add(object_id)
+        points = sorted(
+            (record.point() for record in records if record.kind == "event"),
+            key=lambda point: point.t,
+        )
+        try:
+            trajectory = RawTrajectory(points, object_id=object_id)
+        except SemitriError:
+            # No reconstructable trajectory (e.g. close-only record set):
+            # count the loss, skip the store record.
+            self._failure_log.record_failure("shard_worker", "WorkerLost")
+            return
+        self._failure_log.quarantine(
+            TrajectoryFailure(
+                trajectory=trajectory,
+                stage="shard_worker",
+                error=(
+                    f"shard {index} worker died replaying {object_id!r} in "
+                    "isolation; object quarantined as proven poison"
+                ),
+                attempts=self._handles[index].restarts,
+                events=[FailureEvent(stage="shard_worker", kind="WorkerLost", attempt=1)],
+            )
+        )
 
     def _collect(self, sealed: List[PipelineResult]) -> None:
         for result in sealed:

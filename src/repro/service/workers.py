@@ -1,0 +1,437 @@
+"""Process-per-shard execution tier for the annotation service.
+
+The thread transport keeps every shard's
+:class:`~repro.engine.executors.MicroBatchExecutor` inside the service
+process, so the GIL serializes all annotation work no matter how many shards
+are configured.  This module is the ``transport="process"`` alternative: each
+shard runs its executor in a dedicated worker process, attached zero-copy to
+the parent's :class:`~repro.parallel.context.GeoContext` (PR 7's
+``share_context``/``attach_context`` machinery — one shm segment, read-only
+views), while the asyncio front end keeps ownership of routing, bounded
+queues, backpressure and the WAL.
+
+Wire discipline, chosen for amortized IPC on the hot path:
+
+* **parent → worker** — batched frames over a ``multiprocessing`` pipe, one
+  ``send_bytes`` per micro-batch.  A frame is newline-joined JSON lines using
+  the WAL's fast-path encoder (cached object-id encoding, ``repr``-formatted
+  finite floats): ``["e",id,x,y,t]`` events, ``["c",id]`` closes, ``["v",n]``
+  evictions, plus the ``["drain"]``/``["stop"]`` control frames;
+* **worker → parent** — pickled acks on a second pipe, one per frame and in
+  frame order, each carrying the sealed :class:`PipelineResult` rows of that
+  batch (results stream back incrementally — the parent preserves
+  ``on_result`` ordering and its enqueue-to-absorbed latency histogram), the
+  events absorbed, the open-session gauge and any dead-lettered quarantines.
+
+Workers never persist: sealed rows ship to the parent, which commits at drain
+in the same deterministic order as the thread transport.  A worker that dies
+mid-stream is detected by the parent's reader task (pipe EOF) and recovered
+from the WAL — see ``AnnotationService._recover_shard``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+from dataclasses import replace
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import SemitriError
+from repro.core.pipeline import PipelineResult
+from repro.core.points import SpatioTemporalPoint
+from repro.engine.executors import MicroBatchExecutor, _pool_mp_context
+from repro.engine.plan import Plan
+from repro.faults.failures import FailureLog, TrajectoryFailure
+from repro.faults.inject import FaultInjector, FaultPlan
+from repro.faults.journal import ObjectIdEncoder, encode_point_fast
+from repro.parallel.context import GeoContext
+from repro.parallel.shared import SharedContextSpec, attach_context
+
+__all__ = [
+    "FrameEncoder",
+    "ShardProcessHandle",
+    "decode_frame",
+    "shard_worker_main",
+    "DRAIN_FRAME",
+    "STOP_FRAME",
+]
+
+#: Wire tags of the per-item frame lines (events dominate, so one byte each).
+_TAG_EVENT, _TAG_CLOSE, _TAG_EVICT = "e", "c", "v"
+
+#: Control frames (single-line, no payload).
+DRAIN_FRAME = b'["drain"]'
+STOP_FRAME = b'["stop"]'
+
+#: One decoded frame item: (tag, object id or eviction target, point or None).
+FrameOp = Tuple[str, object, Optional[SpatioTemporalPoint]]
+
+#: Exception types a worker batch may fail with that ship back to the parent
+#: as an ``("error", ...)`` ack instead of killing the worker.  Mirrors the
+#: service's ``_BATCH_ERRORS`` minus ``sqlite3.Error`` — worker plans never
+#: touch a store.
+_WORKER_BATCH_ERRORS = (
+    SemitriError,
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    ArithmeticError,
+    RuntimeError,
+    OSError,
+)
+
+
+class FrameEncoder:
+    """Encodes service queue items into one batched IPC frame.
+
+    Reuses the WAL's fast-path discipline: object ids are JSON-encoded once
+    and cached (:class:`~repro.faults.journal.ObjectIdEncoder`), finite float
+    triples format via ``repr`` (byte-identical to ``json.dumps``), and the
+    rare non-finite/non-float point falls back to a full ``json.dumps``.
+    """
+
+    def __init__(self) -> None:
+        self._ids = ObjectIdEncoder()
+
+    def encode_batch(
+        self, items: Iterable[Sequence[object]]
+    ) -> bytes:
+        """One frame for ``items`` shaped ``(kind, id_or_target, point, ...)``.
+
+        ``kind`` is the service's queue-item kind (``"event"``, ``"close"``
+        or ``"evict"``); anything else (the stop sentinel) must be filtered
+        by the caller.
+        """
+        lines: List[str] = []
+        for item in items:
+            kind, target, point = item[0], item[1], item[2]
+            if kind == "event":
+                assert point is not None
+                fields = encode_point_fast(point.x, point.y, point.t)
+                if fields is not None:
+                    lines.append(f'["e",{self._ids.encode(str(target))},{fields}]')
+                else:
+                    lines.append(
+                        json.dumps(
+                            ["e", str(target), point.x, point.y, point.t],
+                            separators=(",", ":"),
+                        )
+                    )
+            elif kind == "close":
+                lines.append(f'["c",{self._ids.encode(str(target))}]')
+            else:  # evict: target carries the open-session budget
+                lines.append(f'["v",{int(target)}]')  # type: ignore[call-overload]
+        return "\n".join(lines).encode("utf-8")
+
+
+def decode_frame(data: bytes) -> List[FrameOp]:
+    """Parse one batched frame back into per-item operations."""
+    ops: List[FrameOp] = []
+    for line in data.decode("utf-8").split("\n"):
+        if not line:
+            continue
+        payload = json.loads(line)
+        tag = payload[0]
+        if tag == _TAG_EVENT:
+            ops.append(
+                (
+                    tag,
+                    payload[1],
+                    SpatioTemporalPoint(
+                        x=float(payload[2]), y=float(payload[3]), t=float(payload[4])
+                    ),
+                )
+            )
+        elif tag == _TAG_CLOSE:
+            ops.append((tag, payload[1], None))
+        elif tag == _TAG_EVICT:
+            ops.append((tag, int(payload[1]), None))
+        else:  # "drain" / "stop" control frames are single-line
+            ops.append((tag, None, None))
+    return ops
+
+
+def _materialize_context(
+    payload: Union[SharedContextSpec, GeoContext],
+) -> Tuple[GeoContext, object]:
+    """The worker-side context, plus whatever must stay referenced for it.
+
+    A :class:`SharedContextSpec` attaches to the parent's shm segment and
+    rebuilds read-only aliasing views — the returned bundle must live as long
+    as the context (its arrays alias the mapping) and is never unlinked here
+    (the parent owns the segment).  A plain :class:`GeoContext` arrived via
+    fork inheritance (copy-on-write, no pickling) or via the spawn pickle.
+    """
+    if isinstance(payload, SharedContextSpec):
+        return attach_context(payload)
+    return payload, None
+
+
+def shard_worker_main(
+    index: int,
+    payload: Union[SharedContextSpec, GeoContext],
+    per_shard_sessions: int,
+    fault_plan: str,
+    requests: "multiprocessing.connection.Connection",
+    responses: "multiprocessing.connection.Connection",
+) -> None:
+    """Entry point of one shard's worker process.
+
+    Drives a :class:`MicroBatchExecutor` over the attached snapshot: decode a
+    frame, absorb its items in order, ack with the sealed results.  Acks are
+    sent in frame order on a FIFO pipe, which is what lets the parent keep
+    per-shard absorption order (and therefore canonical parity) identical to
+    the thread transport.
+    """
+    # The parent handles SIGINT for the whole service; a Ctrl-C must not kill
+    # workers before the parent decides whether to drain or shut down.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    context, bundle = _materialize_context(payload)
+    del payload
+    config = replace(
+        context.config,
+        streaming=replace(context.config.streaming, max_sessions=per_shard_sessions),
+    )
+    faults = (
+        FaultInjector(FaultPlan.parse(fault_plan))
+        if fault_plan
+        else FaultInjector.from_env()
+    )
+    # Worker-local failure log: its counters are never read (the parent's log
+    # is the single counting point); only the buffered quarantines ship back.
+    failure_log = FailureLog(config.failure)
+    plan = Plan.compile(
+        sources=context.sources,
+        config=config,
+        annotators=context.annotators,
+        faults=faults,
+        failure_log=failure_log,
+    )
+    executor = MicroBatchExecutor(plan)
+    # ``bundle`` stays referenced for the life of this frame loop — the
+    # context's arrays alias its shared-memory mapping.
+
+    while True:
+        try:
+            data = requests.recv_bytes()
+        except (EOFError, OSError):
+            break  # parent went away; nothing useful left to do
+        ops = decode_frame(data)
+        if ops and ops[0][0] == "stop":
+            break
+        if ops and ops[0][0] == "drain":
+            sealed = executor.close_all()
+            responses.send(
+                (
+                    "drained",
+                    sealed,
+                    _pop_quarantines(failure_log),
+                    executor.sessions_evicted,
+                )
+            )
+            continue
+        results: List[PipelineResult] = []
+        absorbed = 0
+        try:
+            for tag, target, point in ops:
+                if tag == _TAG_EVENT:
+                    object_id = str(target)
+                    # Kill-style chaos follows the shard into its process:
+                    # the hook fires per event here (streams have no
+                    # trajectory boundary until sealing).
+                    faults.on_trajectory(object_id, worker=True)
+                    results.extend(executor.ingest(object_id, point))
+                    absorbed += 1
+                elif tag == _TAG_CLOSE:
+                    results.extend(executor.close_object(str(target)))
+                else:
+                    results.extend(executor.evict_sessions(int(target)))  # type: ignore[arg-type]
+        except _WORKER_BATCH_ERRORS as error:
+            object_ids = sorted(
+                {str(target) for tag, target, _ in ops if tag in (_TAG_EVENT, _TAG_CLOSE)}
+            )
+            responses.send(
+                (
+                    "error",
+                    type(error).__name__,
+                    repr(error),
+                    object_ids,
+                    len(ops),
+                    absorbed,
+                    executor.open_session_count,
+                    executor.sessions_evicted,
+                    _pop_quarantines(failure_log),
+                )
+            )
+            continue
+        responses.send(
+            (
+                "ok",
+                results,
+                absorbed,
+                executor.open_session_count,
+                executor.sessions_evicted,
+                _pop_quarantines(failure_log),
+            )
+        )
+
+
+def _pop_quarantines(failure_log: FailureLog) -> List[TrajectoryFailure]:
+    """Drain the worker log's buffered dead letters for shipping.
+
+    Exceptions are stripped before pickling (arbitrary exception objects may
+    not cross process boundaries; the repr travels on the record).
+    """
+    quarantines = failure_log.drain_pending()
+    for failure in quarantines:
+        failure.exception = None
+    return quarantines
+
+
+class ShardProcessHandle:
+    """Parent-side handle for one shard's worker process and its pipes.
+
+    Owns the per-shard IPC bookkeeping the service's consumer and reader
+    tasks share: the request/response connections, the counters mirrored from
+    acks (events absorbed, open sessions, evictions), how many WAL-covered
+    operations have been handed to the worker (``sent_ops`` — the replay
+    prefix after a worker loss), and the in-flight frame metadata the reader
+    pops to observe per-event latency.
+    """
+
+    #: Frames allowed in flight per shard before the consumer awaits an ack.
+    #: Two keeps the worker busy while the parent encodes the next batch;
+    #: frames are a few KB, so the pipe buffer never fills and ``send_bytes``
+    #: never blocks the event loop.
+    max_inflight = 2
+
+    def __init__(
+        self,
+        index: int,
+        payload: Union[SharedContextSpec, GeoContext],
+        per_shard_sessions: int,
+        fault_plan: str = "",
+    ):
+        self.index = index
+        self._payload = payload
+        self._per_shard_sessions = per_shard_sessions
+        self._fault_plan = fault_plan
+        self._mp_ctx = _pool_mp_context()
+        self._process: Optional[multiprocessing.process.BaseProcess] = None
+        self._requests: Optional[multiprocessing.connection.Connection] = None
+        self._responses: Optional[multiprocessing.connection.Connection] = None
+        self.encoder = FrameEncoder()
+        # Counters mirrored from worker acks (the worker owns the truth; the
+        # parent's copy is what service properties and metrics read).
+        self.events_absorbed = 0
+        self.open_sessions = 0
+        self.sessions_evicted = 0
+        #: WAL-covered operations (events + closes) handed to the worker so
+        #: far — recovery replays exactly this prefix of the shard's journal.
+        self.sent_ops = 0
+        #: Per in-flight frame: (enqueue timestamps of its items, its event
+        #: count) — popped FIFO as acks arrive (the pipe preserves order).
+        self.pending: List[Tuple[List[float], int]] = []
+        self.restarts = 0
+        #: Events of proven-poison objects skipped at the shard boundary.
+        #: Counted in ``sent_ops`` (they are journaled) but never framed;
+        #: recomputed from the WAL prefix at each recovery, incremented live
+        #: in between.  Survives respawns — these were handled, not lost.
+        self.poison_skipped = 0
+        #: Whether the service already asked this shard to drain; recovery
+        #: re-sends the drain frame when the ack died with the worker.
+        self.drain_requested = False
+
+    # ------------------------------------------------------------- lifecycle
+    def spawn(self) -> None:
+        """Start (or restart) the worker process on fresh pipes."""
+        self._close_connections()
+        parent_req, child_req = self._mp_ctx.Pipe(duplex=False)
+        parent_resp, child_resp = self._mp_ctx.Pipe(duplex=False)
+        self._process = self._mp_ctx.Process(
+            target=shard_worker_main,
+            args=(
+                self.index,
+                self._payload,
+                self._per_shard_sessions,
+                self._fault_plan,
+                parent_req,
+                child_resp,
+            ),
+            name=f"semitri-shard-{self.index}",
+            daemon=True,
+        )
+        self._process.start()
+        # The child holds its own ends now; closing ours makes a worker death
+        # surface as EOF on the response pipe instead of a hang.
+        parent_req.close()
+        child_resp.close()
+        self._requests = child_req
+        self._responses = parent_resp
+        # A respawned worker starts from an empty executor: its counters (and
+        # any un-acked frame metadata) died with the previous process.
+        self.events_absorbed = 0
+        self.open_sessions = 0
+        self.sessions_evicted = 0
+        self.pending = []
+
+    def respawn(self) -> None:
+        """Replace a dead worker with a fresh one (counted as a restart)."""
+        if self._process is not None and self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self.restarts += 1
+        self.spawn()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (fault-injection harness for recovery tests)."""
+        if self._process is not None and self._process.pid is not None:
+            os.kill(self._process.pid, signal.SIGKILL)
+
+    def close(self) -> None:
+        """Best-effort stop + join + release both pipe ends (idempotent)."""
+        if self._requests is not None:
+            try:
+                self._requests.send_bytes(STOP_FRAME)
+            except (OSError, ValueError):
+                pass
+        if self._process is not None:
+            self._process.join(timeout=5.0)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout=5.0)
+            self._process = None
+        self._close_connections()
+
+    def _close_connections(self) -> None:
+        for connection in (self._requests, self._responses):
+            if connection is not None:
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+        self._requests = None
+        self._responses = None
+
+    # ------------------------------------------------------------------- IPC
+    def send_frame(self, data: bytes) -> None:
+        """Ship one encoded frame (raises ``OSError`` once the worker died)."""
+        assert self._requests is not None, "worker not spawned"
+        self._requests.send_bytes(data)
+
+    def recv(self) -> Tuple[object, ...]:
+        """Blocking ack read — runs on the service's IPC reader thread."""
+        assert self._responses is not None, "worker not spawned"
+        return self._responses.recv()

@@ -177,6 +177,33 @@ class TestServiceConfig:
         with pytest.raises(ConfigurationError):
             ServiceConfig(ring_replicas=0)
 
+    def test_unknown_transport_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(transport="fiber")
+
+    def test_process_transport_rejects_gross_shard_oversubscription(self, monkeypatch):
+        import repro.core.cpu as cpu
+
+        monkeypatch.setattr(cpu, "effective_cpu_count", lambda: 2)
+        # 4x the cores is the documented ceiling; one past it is rejected.
+        assert ServiceConfig(transport="process", shards=8).shards == 8
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(transport="process", shards=9)
+        # shards=0 defers to the core count, which can never oversubscribe.
+        assert ServiceConfig(transport="process", shards=0).resolved_shards == 2
+
+    def test_explicit_transport_resolves_to_itself(self):
+        assert ServiceConfig(transport="thread").resolved_transport == "thread"
+
+    def test_auto_transport_follows_effective_cores(self, monkeypatch):
+        import repro.core.cpu as cpu
+
+        monkeypatch.setattr(cpu, "effective_cpu_count", lambda: 1)
+        assert ServiceConfig(transport="auto").resolved_transport == "thread"
+        monkeypatch.setattr(cpu, "effective_cpu_count", lambda: 8)
+        assert ServiceConfig(transport="auto").resolved_transport == "process"
+        assert ServiceConfig(transport="process").resolved_transport == "process"
+
 
 class TestConfigDictConstruction:
     def test_to_dict_from_dict_round_trip(self):
@@ -226,6 +253,17 @@ class TestConfigDictConstruction:
             PipelineConfig.from_dict(overrides={"speed_threshold": 1.0})
         with pytest.raises(ConfigurationError):
             PipelineConfig.from_dict(overrides={"stop_move.speed_threshold": "fast"})
+
+    def test_transport_round_trips_through_dict_and_overrides(self, monkeypatch):
+        import repro.core.cpu as cpu
+
+        monkeypatch.setattr(cpu, "effective_cpu_count", lambda: 8)
+        config = PipelineConfig.from_dict(overrides={"service.transport": "process"})
+        assert config.service.transport == "process"
+        assert PipelineConfig.from_dict(config.to_dict()) == config
+        threaded = config.with_overrides({"service.transport": "thread"})
+        assert threaded.service.transport == "thread"
+        assert config.service.transport == "process"
 
     def test_values_still_pass_dataclass_validation(self):
         with pytest.raises(ConfigurationError):
